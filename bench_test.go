@@ -1,0 +1,463 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, on arrays reduced enough to keep `go test -bench=.`
+// fast while preserving every qualitative result. Custom metrics report
+// the headline number of each experiment (improvement factors, lifetimes,
+// overhead percentages) so a bench run doubles as a miniature reproduction:
+//
+//	go test -bench=. -benchmem
+//
+// Full-fidelity reproduction (1024×1024, 100 000 iterations) is
+// cmd/endurance-report's job.
+package pimendure
+
+import (
+	"testing"
+
+	"pimendure/internal/baseline"
+	"pimendure/internal/core"
+	"pimendure/internal/faults"
+	"pimendure/internal/lifetime"
+	"pimendure/internal/program"
+	"pimendure/internal/stats"
+	"pimendure/internal/synth"
+	"pimendure/internal/workloads"
+	"pimendure/pim"
+)
+
+// benchOptions is the reduced array every wear benchmark runs on.
+func benchOptions() pim.Options {
+	return pim.Options{Lanes: 128, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+}
+
+func benchRun() pim.RunConfig {
+	return pim.RunConfig{Iterations: 500, RecompileEvery: 100, Seed: 1}
+}
+
+func mustMult(b *testing.B, opt pim.Options, bits int) *pim.Benchmark {
+	b.Helper()
+	m, err := pim.NewParallelMult(opt, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkE1MultSynthesis regenerates §3.1's cost numbers: synthesizing
+// the 32-bit in-memory multiply and counting its cell traffic.
+func BenchmarkE1MultSynthesis(b *testing.B) {
+	var writes, reads int64
+	for i := 0; i < b.N; i++ {
+		bld := program.NewBuilder(1, 1023)
+		x := bld.AllocN(32)
+		y := bld.AllocN(32)
+		synth.Dadda(bld, synth.NAND, x, y)
+		tr := bld.Trace()
+		writes = tr.CellWrites(false)
+		reads = tr.CellReads()
+	}
+	if writes != 9824 || reads != 19616 {
+		b.Fatalf("§3.1 calibration broken: %d writes, %d reads", writes, reads)
+	}
+	b.ReportMetric(float64(writes), "writes/mult")
+	b.ReportMetric(baseline.WriteAmplification(synth.NAND, 32), "amplification")
+}
+
+// BenchmarkE2UpperBounds evaluates Eq. 1 and Eq. 2 across the technology
+// catalogue.
+func BenchmarkE2UpperBounds(b *testing.B) {
+	var days float64
+	for i := 0; i < b.N; i++ {
+		for _, tech := range pim.Technologies() {
+			_ = pim.UpperBoundOps(1024, 1024, tech, 9824)
+			days = pim.UpperBoundSeconds(1024, 1024, pim.MRAM()) / 86400
+		}
+	}
+	b.ReportMetric(days, "eq2_days")
+}
+
+// BenchmarkFig5LaneProfile computes the per-cell read/write profile of one
+// multiplication within a lane.
+func BenchmarkFig5LaneProfile(b *testing.B) {
+	m := mustMult(b, benchOptions(), 32)
+	b.ResetTimer()
+	var hottest int64
+	for i := 0; i < b.N; i++ {
+		w, _ := core.LaneProfile(m.Trace, true, 0)
+		for _, c := range w {
+			if c > hottest {
+				hottest = c
+			}
+		}
+	}
+	b.ReportMetric(float64(hottest), "max_writes_cell")
+}
+
+// BenchmarkTable2Overhead synthesizes the Mixed2 circuits behind Table 2
+// and reports the 32-bit addition overhead (the table's worst case).
+func BenchmarkTable2Overhead(b *testing.B) {
+	var add32 float64
+	for i := 0; i < b.N; i++ {
+		for _, bits := range []int{4, 8, 16, 32, 64} {
+			_ = synth.ShuffleOverhead(synth.ShuffleMult, bits)
+			add32 = synth.ShuffleOverhead(synth.ShuffleAdd, 32)
+		}
+	}
+	b.ReportMetric(add32*100, "add32_overhead_%")
+}
+
+// BenchmarkFig11FaultCurve Monte-Carlo samples the usable-bits collapse.
+func BenchmarkFig11FaultCurve(b *testing.B) {
+	var usable float64
+	for i := 0; i < b.N; i++ {
+		pts, err := faults.UsableCurve(128, 1024, []float64{0.001, 0.01}, 20, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		usable = pts[1].UsableMC
+	}
+	b.ReportMetric(usable, "usable_at_1%")
+}
+
+// benchWear runs a full wear simulation for one strategy and reports the
+// lifetime improvement over St×St as a custom metric.
+func benchWear(b *testing.B, bench *pim.Benchmark, s pim.Strategy) {
+	b.Helper()
+	opt := benchOptions()
+	rc := benchRun()
+	static, err := pim.Run(bench, opt, rc, pim.StaticStrategy, pim.MRAM())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var r *pim.Result
+	for i := 0; i < b.N; i++ {
+		r, err = pim.Run(bench, opt, rc, s, pim.MRAM())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(static.MaxWritesPerIteration/r.MaxWritesPerIteration, "improvement_x")
+	b.ReportMetric(r.Lifetime.Days(), "days_mram")
+}
+
+// BenchmarkFig14Multiplication: the multiplication write distribution
+// under the static baseline and the paper's best within-lane strategies.
+func BenchmarkFig14Multiplication(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	b.Run("StxSt", func(b *testing.B) { benchWear(b, bench, pim.StaticStrategy) })
+	b.Run("RaxSt", func(b *testing.B) {
+		benchWear(b, bench, pim.Strategy{Within: pim.Random, Between: pim.Static})
+	})
+	b.Run("RaxSt+Hw", func(b *testing.B) {
+		benchWear(b, bench, pim.Strategy{Within: pim.Random, Between: pim.Static, Hw: true})
+	})
+}
+
+// BenchmarkFig15Convolution: the convolution distribution; between-lane
+// random shuffling is what helps here.
+func BenchmarkFig15Convolution(b *testing.B) {
+	bench, err := pim.NewConvolution(benchOptions(), 4, 3, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("StxSt", func(b *testing.B) { benchWear(b, bench, pim.StaticStrategy) })
+	b.Run("RaxRa", func(b *testing.B) {
+		benchWear(b, bench, pim.Strategy{Within: pim.Random, Between: pim.Random})
+	})
+	b.Run("RaxRa+Hw", func(b *testing.B) {
+		benchWear(b, bench, pim.Strategy{Within: pim.Random, Between: pim.Random, Hw: true})
+	})
+}
+
+// BenchmarkFig16DotProduct: the dot-product distribution, imbalanced in
+// both dimensions.
+func BenchmarkFig16DotProduct(b *testing.B) {
+	opt := benchOptions()
+	bench, err := pim.NewDotProduct(opt, opt.Lanes, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("StxSt", func(b *testing.B) { benchWear(b, bench, pim.StaticStrategy) })
+	b.Run("RaxRa", func(b *testing.B) {
+		benchWear(b, bench, pim.Strategy{Within: pim.Random, Between: pim.Random})
+	})
+	b.Run("RaxRa+Hw", func(b *testing.B) {
+		benchWear(b, bench, pim.Strategy{Within: pim.Random, Between: pim.Random, Hw: true})
+	})
+}
+
+// BenchmarkFig17Sweep runs the full 18-configuration sweep and reports the
+// best improvement factor (one bar chart of Fig. 17 per iteration).
+func BenchmarkFig17Sweep(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	opt := benchOptions()
+	rc := benchRun()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		results, err := pim.Sweep(bench, opt, rc, nil, pim.MRAM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		imps, err := pim.Improvements(results)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = imps[0].Factor
+	}
+	b.ReportMetric(best, "best_improvement_x")
+}
+
+// BenchmarkTable3Utilization computes the lane-utilization figures of
+// Table 3 from the compiled traces.
+func BenchmarkTable3Utilization(b *testing.B) {
+	opt := benchOptions()
+	mult := mustMult(b, opt, 32)
+	conv, err := pim.NewConvolution(opt, 4, 3, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dot, err := pim.NewDotProduct(opt, opt.Lanes, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var um, uc, ud float64
+	for i := 0; i < b.N; i++ {
+		um = mult.Trace.ComputeStats(true).Utilization
+		uc = conv.Trace.ComputeStats(true).Utilization
+		ud = dot.Trace.ComputeStats(true).Utilization
+	}
+	if !(um == 1 && uc < um && ud < uc) {
+		b.Fatalf("Table 3 utilization ordering broken: %v %v %v", um, uc, ud)
+	}
+	b.ReportMetric(uc*100, "conv_util_%")
+	b.ReportMetric(ud*100, "dot_util_%")
+}
+
+// BenchmarkE11RecompilePeriod measures the cost of one wear run at each
+// §5 re-mapping period (more epochs = more permutation work).
+func BenchmarkE11RecompilePeriod(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	opt := benchOptions()
+	for _, period := range []int{500, 100, 50, 10} {
+		b.Run(map[int]string{500: "every500", 100: "every100", 50: "every50", 10: "every10"}[period],
+			func(b *testing.B) {
+				ra := pim.Strategy{Within: pim.Random, Between: pim.Random}
+				var r *pim.Result
+				var err error
+				for i := 0; i < b.N; i++ {
+					r, err = pim.Run(bench, opt,
+						pim.RunConfig{Iterations: 500, RecompileEvery: period, Seed: 1}, ra, pim.MRAM())
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(r.MaxWritesPerIteration, "max_writes_iter")
+			})
+	}
+}
+
+// BenchmarkE12Misalignment exercises the Fig. 6 corruption demonstration.
+func BenchmarkE12Misalignment(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		rate = baseline.CorruptionRate(1)
+	}
+	b.ReportMetric(rate*100, "corrupted_%")
+}
+
+// BenchmarkE12StartGap measures the standard-memory wear-leveling baseline
+// under the adversarial hot-line workload.
+func BenchmarkE12StartGap(b *testing.B) {
+	var imb float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		imb, err = baseline.HotLineImbalance(256, 2, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(imb, "max_over_mean")
+}
+
+// BenchmarkE13LaneSets evaluates §3.3's partitioning workaround.
+func BenchmarkE13LaneSets(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		res, err := faults.LaneSets(128, 128, 4, 80, 50, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = res.EffectiveCapacity
+	}
+	b.ReportMetric(eff, "effective_capacity")
+}
+
+// BenchmarkE14Technology sweeps the Eq. 4 estimate across technologies for
+// a fixed distribution.
+func BenchmarkE14Technology(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	res, err := pim.Run(bench, benchOptions(), benchRun(), pim.StaticStrategy, pim.MRAM())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := bench.Trace.ComputeStats(true)
+	b.ResetTimer()
+	var days float64
+	for i := 0; i < b.N; i++ {
+		for _, tech := range pim.Technologies() {
+			m := lifetime.Model{Endurance: tech.Endurance, StepSeconds: tech.SwitchSeconds}
+			r, err := m.Estimate(res.MaxWritesPerIteration, st.Steps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			days = r.Days()
+		}
+	}
+	b.ReportMetric(days, "projected_days")
+}
+
+// --- Ablations (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationAllocPolicy quantifies how the workspace allocator
+// shapes static imbalance: the paper-like rotating next-fit versus the
+// adversarial lowest-first reuse.
+func BenchmarkAblationAllocPolicy(b *testing.B) {
+	for _, lowest := range []bool{false, true} {
+		name := "next-fit"
+		if lowest {
+			name = "lowest-first"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := benchOptions()
+			opt.LowestFirstAlloc = lowest
+			bench := mustMult(b, opt, 32)
+			var r *pim.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = pim.Run(bench, opt, benchRun(), pim.StaticStrategy, pim.MRAM())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Imbalance, "max_over_mean")
+		})
+	}
+}
+
+// BenchmarkAblationPreset quantifies the CRAM output-preset write cost.
+func BenchmarkAblationPreset(b *testing.B) {
+	for _, preset := range []bool{false, true} {
+		name := "sense-amp"
+		if preset {
+			name = "preset"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := benchOptions()
+			opt.PresetOutputs = preset
+			bench := mustMult(b, opt, 32)
+			var r *pim.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = pim.Run(bench, opt, benchRun(), pim.StaticStrategy, pim.MRAM())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.MaxWritesPerIteration, "max_writes_iter")
+		})
+	}
+}
+
+// BenchmarkAblationBasis compares the NAND and minimum-2-input gate bases.
+func BenchmarkAblationBasis(b *testing.B) {
+	for _, nand := range []bool{true, false} {
+		name := "mixed2"
+		if nand {
+			name = "nand"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := benchOptions()
+			opt.NANDBasis = nand
+			bench := mustMult(b, opt, 32)
+			var r *pim.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = pim.Run(bench, opt, benchRun(), pim.StaticStrategy, pim.MRAM())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Lifetime.Days(), "days_mram")
+		})
+	}
+}
+
+// BenchmarkAblationEngine compares the factorized wear engine against
+// brute-force functional execution on identical inputs.
+func BenchmarkAblationEngine(b *testing.B) {
+	cfg := workloads.Config{Lanes: 16, Rows: 128, Basis: synth.NAND}
+	bench, err := workloads.ParallelMult(cfg, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := core.SimConfig{Rows: 128, PresetOutputs: true, Iterations: 50, RecompileEvery: 10, Seed: 1}
+	strat := core.StrategyConfig{Within: pim.Random, Between: pim.Random, Hw: true}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Simulate(bench.Trace, sim, strat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brute-force", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.BruteForce(bench.Trace, sim, strat, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkArrayIteration measures the bit-accurate simulator's throughput
+// on one full 32-bit multiply iteration across 128 lanes.
+func BenchmarkArrayIteration(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	sim := core.SimConfig{Rows: 1024, PresetOutputs: true, Iterations: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.BruteForce(bench.Trace, sim, pim.StaticStrategy, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeatmap measures distribution-to-heatmap conversion.
+func BenchmarkHeatmap(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	res, err := pim.Run(bench, benchOptions(), benchRun(), pim.StaticStrategy, pim.MRAM())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pim.Heatmap(res.Dist, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGiniCoV measures the distribution statistics used in summaries.
+func BenchmarkGiniCoV(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	res, err := pim.Run(bench, benchOptions(), benchRun(), pim.StaticStrategy, pim.MRAM())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var g float64
+	for i := 0; i < b.N; i++ {
+		g = stats.Gini(res.Dist.Counts)
+	}
+	b.ReportMetric(g, "gini")
+}

@@ -1,0 +1,115 @@
+// Command heatmap runs a benchmark under a strategy configuration and
+// renders its write-distribution heatmap (one panel of Figs. 14–16) to a
+// PNG and/or PGM file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pimendure/internal/mapping"
+	"pimendure/pim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heatmap: ")
+
+	benchName := flag.String("bench", "mult", "benchmark: mult, dot, conv")
+	lanes := flag.Int("lanes", 1024, "array lanes")
+	rows := flag.Int("rows", 1024, "array rows")
+	within := flag.String("within", "St", "within-lane strategy: St, Ra, Bs")
+	between := flag.String("between", "St", "between-lane strategy: St, Ra, Bs")
+	hw := flag.Bool("hw", false, "hardware renaming")
+	iters := flag.Int("iters", 10000, "iterations")
+	recompile := flag.Int("recompile", 100, "software re-mapping period")
+	dim := flag.Int("dim", 128, "heatmap resolution cap")
+	scale := flag.Int("scale", 4, "PNG pixels per cell")
+	pngPath := flag.String("png", "heatmap.png", "PNG output path (empty to skip)")
+	pgmPath := flag.String("pgm", "", "PGM output path (empty to skip)")
+	load := flag.String("load", "", "render a saved distribution (pimsim -dumpdist) instead of simulating")
+	flag.Parse()
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist, err := pim.LoadDist(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid, err := pim.Heatmap(dist, *dim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(grid, *pngPath, *pgmPath, *scale)
+		return
+	}
+
+	opt := pim.Options{Lanes: *lanes, Rows: *rows, PresetOutputs: true, NANDBasis: true}
+	var bench *pim.Benchmark
+	var err error
+	switch *benchName {
+	case "mult":
+		bench, err = pim.NewParallelMult(opt, 32)
+	case "conv":
+		bench, err = pim.NewConvolution(opt, 4, 3, 8)
+	case "dot":
+		n := 1
+		for n*2 <= opt.Lanes {
+			n *= 2
+		}
+		bench, err = pim.NewDotProduct(opt, n, 32)
+	default:
+		err = fmt.Errorf("unknown benchmark %q", *benchName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w, err := mapping.ParseStrategy(*within)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := mapping.ParseStrategy(*between)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pim.Run(bench, opt,
+		pim.RunConfig{Iterations: *iters, RecompileEvery: *recompile, Seed: 1},
+		pim.Strategy{Within: w, Between: b, Hw: *hw}, pim.MRAM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := pim.Heatmap(res.Dist, *dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit(grid, *pngPath, *pgmPath, *scale)
+}
+
+// emit renders a normalized grid to the requested files.
+func emit(grid *pim.Grid, pngPath, pgmPath string, scale int) {
+	write := func(path string, fn func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write(pngPath, func(f *os.File) error { return pim.WriteHeatmapPNG(f, grid, scale) })
+	write(pgmPath, func(f *os.File) error { return pim.WriteHeatmapPGM(f, grid) })
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHumanTime(t *testing.T) {
+	cases := []struct {
+		secs float64
+		want string
+	}{
+		{30, "30.0 s"},
+		{307, "5.1 min"},
+		{3 * 3600, "3.0 h"},
+		{3072000, "35.56 days"},
+		{10 * 365 * 86400, "10.00 years"},
+	}
+	for _, c := range cases {
+		if got := humanTime(c.secs); got != c.want {
+			t.Errorf("humanTime(%v) = %q, want %q", c.secs, got, c.want)
+		}
+	}
+}
+
+func TestHumanTimeUnitsAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, secs := range []float64{5, 300, 10000, 200000, 1e8} {
+		unit := humanTime(secs)
+		unit = unit[strings.LastIndexByte(unit, ' ')+1:]
+		if seen[unit] {
+			t.Errorf("unit %q reused across magnitudes", unit)
+		}
+		seen[unit] = true
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"pimendure/internal/mapping"
+)
+
+func TestParseStrategy(t *testing.T) {
+	s, err := parseStrategy("Ra", "Bs", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Within != mapping.Random || s.Between != mapping.ByteShift || !s.Hw {
+		t.Errorf("parsed %+v", s)
+	}
+	if s.Name() != "RaxBs+Hw" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if _, err := parseStrategy("zz", "St", false); err == nil {
+		t.Error("bad within accepted")
+	}
+	if _, err := parseStrategy("St", "zz", false); err == nil {
+		t.Error("bad between accepted")
+	}
+}

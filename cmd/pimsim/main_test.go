@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pimendure/pim"
+)
+
+func TestMakeBench(t *testing.T) {
+	opt := pim.Options{Lanes: 16, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+	for _, name := range []string{"mult", "dot", "conv", "add"} {
+		b, err := makeBench(opt, name, 32)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := b.Trace.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := makeBench(opt, "nope", 32); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// conv defaults to the paper's 8-bit precision when the generic 32-bit
+// default is passed.
+func TestMakeBenchConvPrecision(t *testing.T) {
+	opt := pim.Options{Lanes: 16, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+	b, err := makeBench(opt, "conv", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "8-bit"; !strings.Contains(b.Description, want) {
+		t.Errorf("description %q should mention %s", b.Description, want)
+	}
+}

@@ -1,0 +1,13 @@
+// Package pimendure is a from-scratch Go reproduction of "On Endurance of
+// Processing in (Nonvolatile) Memory" (Resch et al., ISCA 2023): an
+// instruction-level-accurate simulator and analysis toolkit for the write
+// endurance of digital processing-in-memory on nonvolatile arrays.
+//
+// The public API lives in package pimendure/pim. Executables under cmd/
+// regenerate every table and figure of the paper's evaluation; runnable
+// examples live under examples/. See README.md for a tour, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package only anchors the module-level documentation and the
+// benchmark harness in bench_test.go.
+package pimendure

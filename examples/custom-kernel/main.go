@@ -1,0 +1,75 @@
+// Custom kernel: define your own per-lane computation as an expression
+// DAG, compile it to a PIM trace, verify it bit-exactly, and put it
+// through the endurance pipeline — no hand scheduling.
+//
+// The kernel here is a fused multiply-accumulate with a ReLU-style
+// threshold, the inner loop of quantized inference:
+//
+//	out = (a*b + c) >= threshold
+//
+//	go run ./examples/custom-kernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimendure/pim"
+	"pimendure/pim/kernel"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	opt := pim.Options{Lanes: 128, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+
+	a := kernel.Input(8)
+	b := kernel.Input(8)
+	c := kernel.Input(16)
+	thr := kernel.Input(17)
+	mac := kernel.Add(kernel.Mul(a, b), c)
+	bench, err := kernel.Compile(opt, "mac-threshold",
+		kernel.Output(mac),
+		kernel.Output(kernel.GE(mac, thr)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled:", bench.Description)
+	st := bench.Trace.ComputeStats(opt.PresetOutputs)
+	fmt.Printf("trace: %d gates, %d steps (%.2f µs at 3 ns), %d cell writes per lane-iteration\n",
+		st.Gates, st.Steps, float64(st.Steps)*3e-3, st.CellWrites/int64(opt.Lanes))
+
+	// Bit-exact verification against the auto-derived reference model,
+	// under an aggressive re-mapping configuration.
+	data := func(slot, lane int) bool { return (slot*2654435761+lane*40503)%7 < 3 }
+	if err := pim.Verify(bench, opt,
+		pim.Strategy{Within: pim.Random, Between: pim.Random, Hw: true}, data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: every lane exact under RaxRa+Hw")
+
+	// Endurance: how long can this kernel run back to back?
+	rc := pim.RunConfig{Iterations: 5000, RecompileEvery: 100, Seed: 1}
+	static, err := pim.Run(bench, opt, rc, pim.StaticStrategy, pim.MRAM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := pim.Run(bench, opt, rc,
+		pim.Strategy{Within: pim.Random, Between: pim.Random, Hw: true}, pim.MRAM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlifetime on MRAM:  StxSt %.1f days  →  RaxRa+Hw %.1f days (%.2f×)\n",
+		static.Lifetime.Days(), best.Lifetime.Days(),
+		static.MaxWritesPerIteration/best.MaxWritesPerIteration)
+
+	// And the energy bill per iteration, per technology.
+	fmt.Println("\nenergy per iteration:")
+	for _, m := range pim.EnergyModels() {
+		br, err := pim.EnergyPerIteration(bench, opt, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s %.3g J\n", m.Name, br.Total())
+	}
+}

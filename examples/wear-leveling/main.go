@@ -1,0 +1,72 @@
+// Wear leveling: sweep all 18 load-balancing configurations of the paper
+// on the dot-product benchmark (the hardest case: its reduction funnels
+// writes into low-numbered lanes), rank them by lifetime improvement
+// (Fig. 17c), and render the before/after write-density heatmaps.
+//
+//	go run ./examples/wear-leveling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pimendure/pim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	opt := pim.Options{Lanes: 256, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+	bench, err := pim.NewDotProduct(opt, 256, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("benchmark:", bench.Description)
+
+	rc := pim.RunConfig{Iterations: 5000, RecompileEvery: 100, Seed: 11}
+	fmt.Printf("sweeping %d configurations × %d iterations...\n\n", len(pim.AllStrategies()), rc.Iterations)
+	results, err := pim.Sweep(bench, opt, rc, nil, pim.MRAM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	imps, err := pim.Improvements(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %-14s %-16s %-10s %s\n", "config", "improvement", "max writes/iter", "max/mean", "days (MRAM)")
+	for _, im := range imps {
+		fmt.Printf("%-10s %-14.3f %-16.2f %-10.3f %.1f\n",
+			im.Strategy.Name(), im.Factor, im.Result.MaxWritesPerIteration,
+			im.Result.Imbalance, im.Result.Lifetime.Days())
+	}
+
+	// Render the two ends of the ranking as heatmaps.
+	for _, im := range []pim.Improvement{imps[len(imps)-1], imps[0]} {
+		grid, err := pim.Heatmap(im.Result.Dist, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := fmt.Sprintf("dot_%s.png", im.Strategy.Name())
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pim.WriteHeatmapPNG(f, grid, 4); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%s: max/mean %.2f)", name, im.Strategy.Name(), im.Result.Imbalance)
+	}
+	fmt.Println()
+
+	// The paper's §5 observation: the write distribution is what moves.
+	worst, best := imps[len(imps)-1].Result, imps[0].Result
+	fmt.Printf("\nthe reduction concentrates writes: StxSt max/mean = %.2f; %s flattens it to %.2f,\n",
+		worst.Imbalance, best.Strategy.Name(), best.Imbalance)
+	fmt.Printf("extending time-to-first-failure from %.1f to %.1f days on MRAM.\n",
+		worst.Lifetime.Days(), best.Lifetime.Days())
+}

@@ -1,0 +1,3 @@
+module pimendure
+
+go 1.22

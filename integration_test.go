@@ -1,0 +1,214 @@
+package pimendure
+
+// End-to-end integration test: a miniature run of the paper's entire
+// evaluation pipeline on a reduced array, asserting every qualitative
+// claim the full-scale reproduction (cmd/endurance-report) reports:
+//
+//   - §5: St×Ra and St×Bs give the multiplication nothing; St×Bs gives the
+//     convolution nothing (byte shifts map hot columns onto hot columns);
+//     the dot-product benefits in both dimensions;
+//   - §5: more frequent recompilation monotonically improves lifetime;
+//   - §4: the fast wear engine equals brute force cell for cell;
+//   - §3.2: no strategy ever changes a computed value;
+//   - Table 3: utilization ordering mult > conv > dot.
+
+import (
+	"bytes"
+	"testing"
+
+	"pimendure/internal/asm"
+	"pimendure/internal/core"
+	"pimendure/pim"
+)
+
+func integOptions() pim.Options {
+	return pim.Options{Lanes: 64, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+}
+
+func integSuite(t *testing.T) (mult, conv, dot *pim.Benchmark) {
+	t.Helper()
+	opt := integOptions()
+	var err error
+	if mult, err = pim.NewParallelMult(opt, 32); err != nil {
+		t.Fatal(err)
+	}
+	if conv, err = pim.NewConvolution(opt, 4, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	if dot, err = pim.NewDotProduct(opt, 64, 32); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func factors(t *testing.T, b *pim.Benchmark) map[string]float64 {
+	t.Helper()
+	rc := pim.RunConfig{Iterations: 600, RecompileEvery: 100, Seed: 1}
+	results, err := pim.Sweep(b, integOptions(), rc, nil, pim.MRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps, err := pim.Improvements(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, im := range imps {
+		out[im.Strategy.Name()] = im.Factor
+	}
+	return out
+}
+
+func TestPaperClaimsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow in -short mode")
+	}
+	mult, conv, dot := integSuite(t)
+
+	t.Run("mult: between-lane strategies useless", func(t *testing.T) {
+		f := factors(t, mult)
+		for _, cfg := range []string{"StxRa", "StxBs"} {
+			if f[cfg] != 1.0 {
+				t.Errorf("%s = %.3f, want exactly 1.0", cfg, f[cfg])
+			}
+		}
+		if f["RaxSt"] <= 1.05 {
+			t.Errorf("RaxSt = %.3f, want a real improvement", f["RaxSt"])
+		}
+		if f["RaxSt+Hw"] < f["RaxSt"] {
+			t.Errorf("Hw should not hurt: %.3f vs %.3f", f["RaxSt+Hw"], f["RaxSt"])
+		}
+	})
+
+	t.Run("conv: byte-shifted columns useless, random columns help", func(t *testing.T) {
+		f := factors(t, conv)
+		if f["StxBs"] > 1.02 {
+			t.Errorf("StxBs = %.3f; byte shifts land hot columns on hot columns", f["StxBs"])
+		}
+		if f["StxRa"] <= 1.02 {
+			t.Errorf("StxRa = %.3f, want a real improvement from column shuffling", f["StxRa"])
+		}
+	})
+
+	t.Run("dot: both dimensions help, combined best", func(t *testing.T) {
+		f := factors(t, dot)
+		if f["RaxSt"] <= 1.02 || f["StxRa"] <= 1.02 {
+			t.Errorf("single-dimension gains missing: RaxSt %.3f StxRa %.3f", f["RaxSt"], f["StxRa"])
+		}
+		if f["RaxRa"] < f["RaxSt"] || f["RaxRa"] < f["StxRa"] {
+			t.Errorf("RaxRa %.3f should dominate single dimensions", f["RaxRa"])
+		}
+	})
+
+	t.Run("utilization ordering", func(t *testing.T) {
+		um := mult.Trace.ComputeStats(true).Utilization
+		uc := conv.Trace.ComputeStats(true).Utilization
+		ud := dot.Trace.ComputeStats(true).Utilization
+		if !(um == 1 && um > uc && uc > ud) {
+			t.Errorf("utilization ordering broken: %v %v %v", um, uc, ud)
+		}
+	})
+
+	t.Run("recompile frequency monotone", func(t *testing.T) {
+		opt := integOptions()
+		ra := pim.Strategy{Within: pim.Random, Between: pim.Random}
+		prev := -1.0
+		for _, period := range []int{600, 200, 50} {
+			r, err := pim.Run(mult, opt, pim.RunConfig{Iterations: 600, RecompileEvery: period, Seed: 1}, ra, pim.MRAM())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev > 0 && r.MaxWritesPerIteration > prev+1e-9 {
+				t.Errorf("period %d worsened max writes: %v > %v", period, r.MaxWritesPerIteration, prev)
+			}
+			prev = r.MaxWritesPerIteration
+		}
+	})
+}
+
+// The two engines agree at integration scale too (the unit tests cover
+// small shapes; this covers a 64×1024 slice of the real thing).
+func TestEnginesAgreeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute force at this size is slow in -short mode")
+	}
+	opt := integOptions()
+	conv, err := pim.NewConvolution(opt, 4, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.SimConfig{Rows: opt.Rows, PresetOutputs: true, Iterations: 7, RecompileEvery: 3, Seed: 2}
+	strat := core.StrategyConfig{Within: pim.Random, Between: pim.ByteShift, Hw: true}
+	fast, err := core.Simulate(conv.Trace, sim, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, runner, err := core.BruteForce(conv.Trace, sim, strat, func(slot, lane int) bool {
+		return (slot*3+lane)%7 < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Equal(slow) {
+		t.Error("engines disagree at integration scale")
+	}
+	if err := conv.Check(func(slot, lane int) bool { return (slot*3+lane)%7 < 3 }, runner.Out); err != nil {
+		t.Errorf("functional check after full run: %v", err)
+	}
+}
+
+// The whole artifact chain holds together: compile → assembly round trip →
+// optimize → verify → wear → serialize → render.
+func TestArtifactChain(t *testing.T) {
+	opt := pim.Options{Lanes: 16, Rows: 512, PresetOutputs: true, NANDBasis: true}
+	bench, err := pim.NewBNNLayer(opt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Assembly round trip.
+	var src bytes.Buffer
+	if err := asm.Print(&src, bench.Trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := asm.Parse(&src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != len(bench.Trace.Ops) {
+		t.Fatal("assembly round trip changed the program")
+	}
+
+	// Optimizer keeps it exact.
+	opted, _ := pim.Optimize(bench)
+	data := func(slot, lane int) bool { return (slot^lane)%3 == 0 }
+	if err := pim.Verify(opted, opt, pim.Strategy{Within: pim.Random, Hw: true}, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wear → serialize → reload → render.
+	res, err := pim.Run(opted, opt, pim.RunConfig{Iterations: 50, RecompileEvery: 10, Seed: 3},
+		pim.StaticStrategy, pim.MRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := pim.SaveDist(&blob, res.Dist); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := pim.LoadDist(&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := pim.Heatmap(reloaded, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var png bytes.Buffer
+	if err := pim.WriteHeatmapPNG(&png, grid, 2); err != nil {
+		t.Fatal(err)
+	}
+	if png.Len() == 0 {
+		t.Fatal("empty heatmap")
+	}
+}

@@ -1,0 +1,174 @@
+// Package array is a bit-accurate functional simulator of a nonvolatile
+// PIM array. It executes compiled traces (package program) under a
+// logical-to-physical mapping (package mapping), computing real Boolean
+// values — so synthesized circuits are verifiable end to end — while
+// counting every cell read and write, which is the quantity the paper's
+// endurance analysis is built on (§4: "The simulation is instruction-level
+// accurate, and each write to each memory cell is counted").
+package array
+
+import (
+	"fmt"
+)
+
+// Orientation distinguishes the two parallelism styles of §2.2. The
+// simulator always works in (bit-address, lane) space; orientation only
+// controls how that space maps onto the die's (row, column) axes for
+// rendering and byte-alignment semantics.
+type Orientation uint8
+
+const (
+	// ColumnParallel: a lane is a column; bit addresses are rows. This
+	// is the configuration the paper evaluates (§4: "a more realistic
+	// hardware implementation, requiring few modifications to existing
+	// NVM designs").
+	ColumnParallel Orientation = iota
+	// RowParallel: a lane is a row; bit addresses are columns.
+	RowParallel
+)
+
+// String names the orientation.
+func (o Orientation) String() string {
+	if o == ColumnParallel {
+		return "column-parallel"
+	}
+	return "row-parallel"
+}
+
+// Config sizes and parameterizes an array.
+type Config struct {
+	// BitsPerLane is the number of physical bit addresses in each lane
+	// (rows, in a column-parallel array).
+	BitsPerLane int
+	// Lanes is the number of lanes (columns, in a column-parallel
+	// array). The paper's evaluation uses 1024×1024.
+	Lanes int
+	// PresetOutputs models CRAM-style architectures that must write the
+	// output cell to a known state before each gate (§4); it doubles the
+	// write count of gate outputs and adds one step of latency per gate.
+	PresetOutputs bool
+	Orientation   Orientation
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BitsPerLane <= 0 || c.Lanes <= 0 {
+		return fmt.Errorf("array: dimensions must be positive, got %dx%d", c.BitsPerLane, c.Lanes)
+	}
+	return nil
+}
+
+// Array holds the physical cell state and per-cell access counters. Cells
+// are addressed as (bit, lane); index = bit*Lanes + lane.
+type Array struct {
+	cfg    Config
+	state  []bool
+	writes []uint64
+	reads  []uint64
+}
+
+// New allocates an array with all cells zero and counters cleared.
+func New(cfg Config) *Array {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.BitsPerLane * cfg.Lanes
+	return &Array{
+		cfg:    cfg,
+		state:  make([]bool, n),
+		writes: make([]uint64, n),
+		reads:  make([]uint64, n),
+	}
+}
+
+// Config returns the array's configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+func (a *Array) idx(bit, lane int) int {
+	if bit < 0 || bit >= a.cfg.BitsPerLane || lane < 0 || lane >= a.cfg.Lanes {
+		panic(fmt.Sprintf("array: cell (%d,%d) outside %dx%d", bit, lane, a.cfg.BitsPerLane, a.cfg.Lanes))
+	}
+	return bit*a.cfg.Lanes + lane
+}
+
+// read senses a cell, counting the access.
+func (a *Array) read(bit, lane int) bool {
+	i := a.idx(bit, lane)
+	a.reads[i]++
+	return a.state[i]
+}
+
+// write programs a cell, counting the access.
+func (a *Array) write(bit, lane int, v bool) {
+	i := a.idx(bit, lane)
+	a.writes[i]++
+	a.state[i] = v
+}
+
+// Peek returns a cell's value without counting an access (test/diagnostic
+// use and oracular data migration).
+func (a *Array) Peek(bit, lane int) bool { return a.state[a.idx(bit, lane)] }
+
+// Poke sets a cell's value without counting an access (oracular data
+// migration at recompile boundaries, §4's zero-overhead re-mapping
+// assumption).
+func (a *Array) Poke(bit, lane int, v bool) { a.state[a.idx(bit, lane)] = v }
+
+// Writes returns the write count of one cell.
+func (a *Array) Writes(bit, lane int) uint64 { return a.writes[a.idx(bit, lane)] }
+
+// Reads returns the read count of one cell.
+func (a *Array) Reads(bit, lane int) uint64 { return a.reads[a.idx(bit, lane)] }
+
+// WriteCounts returns the full write-count matrix indexed
+// [bit*Lanes+lane]. The returned slice is a copy.
+func (a *Array) WriteCounts() []uint64 {
+	out := make([]uint64, len(a.writes))
+	copy(out, a.writes)
+	return out
+}
+
+// ReadCounts returns the full read-count matrix as a copy.
+func (a *Array) ReadCounts() []uint64 {
+	out := make([]uint64, len(a.reads))
+	copy(out, a.reads)
+	return out
+}
+
+// TotalWrites sums write counts over all cells.
+func (a *Array) TotalWrites() uint64 {
+	var n uint64
+	for _, w := range a.writes {
+		n += w
+	}
+	return n
+}
+
+// TotalReads sums read counts over all cells.
+func (a *Array) TotalReads() uint64 {
+	var n uint64
+	for _, r := range a.reads {
+		n += r
+	}
+	return n
+}
+
+// MaxWrites returns the hottest cell's write count — the denominator of the
+// paper's lifetime equation (Eq. 4).
+func (a *Array) MaxWrites() uint64 {
+	var m uint64
+	for _, w := range a.writes {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// ResetCounters clears access counters but keeps cell state.
+func (a *Array) ResetCounters() {
+	for i := range a.writes {
+		a.writes[i] = 0
+		a.reads[i] = 0
+	}
+}

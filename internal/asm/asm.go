@@ -1,0 +1,327 @@
+// Package asm prints and parses a human-readable assembly format for
+// compiled PIM traces, so programs can be inspected, diffed, hand-written
+// and reloaded. One line per operation, plus a small header:
+//
+//	# pimendure assembly
+//	lanes 8
+//	mask m0 all
+//	mask m1 0..3
+//	mask m2 {0,4}
+//	write d0 -> b0 @m0
+//	gate NAND b0, b1 -> b2 @m0
+//	gate NOT b2 -> b3 @m0
+//	move b2 l+4 -> b5 @m1
+//	read b5 -> d0 @m1
+//
+// Bits are b<addr>, data slots d<slot>, masks @m<id>; `move` reads its
+// source from lane l+shift of every destination lane l. Comments run from
+// '#' to end of line; blank lines are ignored.
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pimendure/internal/gates"
+	"pimendure/internal/program"
+)
+
+// Print writes the canonical assembly form of a trace.
+func Print(w io.Writer, tr *program.Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# pimendure assembly")
+	fmt.Fprintf(bw, "lanes %d\n", tr.Lanes)
+	for i, m := range tr.Masks {
+		fmt.Fprintf(bw, "mask m%d %s\n", i, maskSpec(m))
+	}
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case program.OpGate:
+			if op.Gate.Arity() == 1 {
+				fmt.Fprintf(bw, "gate %s b%d -> b%d @m%d\n", op.Gate, op.In0, op.Out, op.Mask)
+			} else {
+				fmt.Fprintf(bw, "gate %s b%d, b%d -> b%d @m%d\n", op.Gate, op.In0, op.In1, op.Out, op.Mask)
+			}
+		case program.OpWrite:
+			fmt.Fprintf(bw, "write d%d -> b%d @m%d\n", op.Data, op.Out, op.Mask)
+		case program.OpRead:
+			fmt.Fprintf(bw, "read b%d -> d%d @m%d\n", op.In0, op.Data, op.Mask)
+		case program.OpMove:
+			fmt.Fprintf(bw, "move b%d l%+d -> b%d @m%d\n", op.In0, op.LaneShift, op.Out, op.Mask)
+		default:
+			return fmt.Errorf("asm: unknown op kind %d", op.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// maskSpec renders a mask as "all", a contiguous "lo..hi" range, or an
+// explicit "{a,b,c}" list.
+func maskSpec(m *program.Mask) string {
+	if m.Full() {
+		return "all"
+	}
+	lanes := m.Lanes()
+	if len(lanes) > 0 {
+		contiguous := true
+		for i := 1; i < len(lanes); i++ {
+			if lanes[i] != lanes[i-1]+1 {
+				contiguous = false
+				break
+			}
+		}
+		if contiguous {
+			return fmt.Sprintf("%d..%d", lanes[0], lanes[len(lanes)-1])
+		}
+	}
+	parts := make([]string, len(lanes))
+	for i, l := range lanes {
+		parts[i] = strconv.Itoa(l)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Parse reads assembly back into a validated trace.
+func Parse(r io.Reader) (*program.Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var tr *program.Trace
+	var maskIDs []program.MaskID
+	lineNo := 0
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("asm: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		raw := strings.Fields(line)
+		if len(raw) == 0 {
+			continue
+		}
+		fields := raw
+		switch raw[0] {
+		case "gate", "write", "read", "move":
+			// Op lines use commas and arrows as punctuation; mask
+			// directives must keep their {a,b,c} literals intact.
+			fields = strings.Fields(strings.NewReplacer(",", " ", "->", " -> ").Replace(line))
+		}
+		switch fields[0] {
+		case "lanes":
+			if tr != nil {
+				return nil, fail("duplicate lanes directive")
+			}
+			n, err := strconv.Atoi(atLeast(fields, 1))
+			if err != nil || n <= 0 {
+				return nil, fail("bad lane count %q", atLeast(fields, 1))
+			}
+			tr = program.NewTrace(n)
+		case "mask":
+			if tr == nil {
+				return nil, fail("mask before lanes")
+			}
+			if len(fields) < 3 || !strings.HasPrefix(fields[1], "m") {
+				return nil, fail("malformed mask directive")
+			}
+			idx, err := strconv.Atoi(fields[1][1:])
+			if err != nil || idx != len(maskIDs) {
+				return nil, fail("masks must be declared in order m0, m1, …")
+			}
+			m, err := parseMaskSpec(strings.Join(fields[2:], ""), tr.Lanes)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			maskIDs = append(maskIDs, tr.AddMask(m))
+		case "gate", "write", "read", "move":
+			if tr == nil {
+				return nil, fail("op before lanes")
+			}
+			op, err := parseOp(fields, maskIDs)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if op.Kind == program.OpWrite && int(op.Data) >= tr.WriteSlots {
+				tr.WriteSlots = int(op.Data) + 1
+			}
+			if op.Kind == program.OpRead && int(op.Data) >= tr.ReadSlots {
+				tr.ReadSlots = int(op.Data) + 1
+			}
+			tr.Append(op)
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("asm: no lanes directive")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return tr, nil
+}
+
+func atLeast(fields []string, i int) string {
+	if i < len(fields) {
+		return fields[i]
+	}
+	return ""
+}
+
+func parseMaskSpec(spec string, lanes int) (*program.Mask, error) {
+	switch {
+	case spec == "all":
+		return program.FullMask(lanes), nil
+	case strings.HasPrefix(spec, "{") && strings.HasSuffix(spec, "}"):
+		m := program.NewMask(lanes)
+		body := strings.Trim(spec, "{}")
+		if body == "" {
+			return m, nil
+		}
+		for _, part := range strings.Split(body, ",") {
+			l, err := strconv.Atoi(part)
+			if err != nil || l < 0 || l >= lanes {
+				return nil, fmt.Errorf("bad mask lane %q", part)
+			}
+			m.Set(l)
+		}
+		return m, nil
+	case strings.Contains(spec, ".."):
+		parts := strings.SplitN(spec, "..", 2)
+		lo, err1 := strconv.Atoi(parts[0])
+		hi, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || lo < 0 || hi < lo || hi >= lanes {
+			return nil, fmt.Errorf("bad mask range %q", spec)
+		}
+		return program.RangeMask(lanes, lo, hi+1), nil
+	}
+	return nil, fmt.Errorf("bad mask spec %q", spec)
+}
+
+// parseOp decodes one op line. fields have commas stripped and "->"
+// isolated.
+func parseOp(fields []string, masks []program.MaskID) (program.Op, error) {
+	var op program.Op
+	// Split off the trailing @m<id>.
+	last := fields[len(fields)-1]
+	if !strings.HasPrefix(last, "@m") {
+		return op, fmt.Errorf("missing @mask on %q op", fields[0])
+	}
+	mi, err := strconv.Atoi(last[2:])
+	if err != nil || mi < 0 || mi >= len(masks) {
+		return op, fmt.Errorf("unknown mask %q", last)
+	}
+	op.Mask = masks[mi]
+	fields = fields[:len(fields)-1]
+	op.Out, op.In0, op.In1 = program.NoBit, program.NoBit, program.NoBit
+
+	bit := func(tok string) (program.Bit, error) {
+		if !strings.HasPrefix(tok, "b") {
+			return 0, fmt.Errorf("expected bit, got %q", tok)
+		}
+		v, err := strconv.Atoi(tok[1:])
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad bit %q", tok)
+		}
+		return program.Bit(v), nil
+	}
+	slot := func(tok string) (int32, error) {
+		if !strings.HasPrefix(tok, "d") {
+			return 0, fmt.Errorf("expected data slot, got %q", tok)
+		}
+		v, err := strconv.Atoi(tok[1:])
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad data slot %q", tok)
+		}
+		return int32(v), nil
+	}
+
+	switch fields[0] {
+	case "gate":
+		op.Kind = program.OpGate
+		kind, ok := gateByName(atLeast(fields, 1))
+		if !ok {
+			return op, fmt.Errorf("unknown gate %q", atLeast(fields, 1))
+		}
+		op.Gate = kind
+		want := 5 + kind.Arity() // gate NAME in0 [in1] -> out
+		if len(fields) != want-1 {
+			return op, fmt.Errorf("%s takes %d input(s)", kind, kind.Arity())
+		}
+		if op.In0, err = bit(fields[2]); err != nil {
+			return op, err
+		}
+		rest := fields[3:]
+		if kind.Arity() == 2 {
+			if op.In1, err = bit(fields[3]); err != nil {
+				return op, err
+			}
+			rest = fields[4:]
+		}
+		if len(rest) != 2 || rest[0] != "->" {
+			return op, fmt.Errorf("malformed gate line")
+		}
+		if op.Out, err = bit(rest[1]); err != nil {
+			return op, err
+		}
+	case "write": // write d0 -> b3
+		op.Kind = program.OpWrite
+		if len(fields) != 4 || fields[2] != "->" {
+			return op, fmt.Errorf("malformed write line")
+		}
+		if op.Data, err = slot(fields[1]); err != nil {
+			return op, err
+		}
+		if op.Out, err = bit(fields[3]); err != nil {
+			return op, err
+		}
+	case "read": // read b3 -> d0
+		op.Kind = program.OpRead
+		if len(fields) != 4 || fields[2] != "->" {
+			return op, fmt.Errorf("malformed read line")
+		}
+		if op.In0, err = bit(fields[1]); err != nil {
+			return op, err
+		}
+		if op.Data, err = slot(fields[3]); err != nil {
+			return op, err
+		}
+	case "move": // move b2 l+4 -> b5
+		op.Kind = program.OpMove
+		if len(fields) != 5 || fields[3] != "->" {
+			return op, fmt.Errorf("malformed move line")
+		}
+		if op.In0, err = bit(fields[1]); err != nil {
+			return op, err
+		}
+		if !strings.HasPrefix(fields[2], "l") {
+			return op, fmt.Errorf("expected lane shift, got %q", fields[2])
+		}
+		shift, err := strconv.Atoi(fields[2][1:])
+		if err != nil {
+			return op, fmt.Errorf("bad lane shift %q", fields[2])
+		}
+		op.LaneShift = int32(shift)
+		if op.Out, err = bit(fields[4]); err != nil {
+			return op, err
+		}
+	}
+	return op, nil
+}
+
+// gateByName resolves a gate mnemonic.
+func gateByName(name string) (gates.Kind, bool) {
+	for _, k := range gates.Kinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,197 @@
+package asm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pimendure/internal/array"
+	"pimendure/internal/core"
+	"pimendure/internal/synth"
+	"pimendure/internal/workloads"
+)
+
+func benchTraces(t *testing.T) map[string]*workloads.Benchmark {
+	t.Helper()
+	cfg := workloads.Config{Lanes: 8, Rows: 128, Basis: synth.NAND}
+	out := map[string]*workloads.Benchmark{}
+	var err error
+	if out["mult"], err = workloads.ParallelMult(cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	if out["dot"], err = workloads.DotProduct(cfg, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if out["conv"], err = workloads.Convolution(cfg, workloads.ConvConfig{GroupLanes: 4, MultsPerLane: 2, Bits: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if out["bnn"], err = workloads.BNNLayer(cfg, 8); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Every compiled benchmark must survive a print/parse round trip with
+// identical ops, masks and slots.
+func TestRoundTripAllBenchmarks(t *testing.T) {
+	for name, b := range benchTraces(t) {
+		var buf bytes.Buffer
+		if err := Print(&buf, b.Trace); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr := b.Trace
+		if back.Lanes != tr.Lanes || back.WriteSlots != tr.WriteSlots || back.ReadSlots != tr.ReadSlots {
+			t.Fatalf("%s: header mismatch", name)
+		}
+		if len(back.Ops) != len(tr.Ops) {
+			t.Fatalf("%s: %d ops, want %d", name, len(back.Ops), len(tr.Ops))
+		}
+		for i := range tr.Ops {
+			if back.Ops[i] != tr.Ops[i] {
+				t.Fatalf("%s op %d: %v vs %v", name, i, back.Ops[i], tr.Ops[i])
+			}
+		}
+		for i := range tr.Masks {
+			if !back.Masks[i].Equal(tr.Masks[i]) {
+				t.Fatalf("%s: mask %d differs", name, i)
+			}
+		}
+	}
+}
+
+// A round-tripped trace must simulate identically.
+func TestRoundTripSimulatesIdentically(t *testing.T) {
+	b := benchTraces(t)["dot"]
+	var buf bytes.Buffer
+	if err := Print(&buf, b.Trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.SimConfig{Rows: 128, PresetOutputs: true, Iterations: 12, RecompileEvery: 4, Seed: 5}
+	strat := core.StrategyConfig{Within: 1, Between: 1, Hw: true}
+	a, err := core.Simulate(b.Trace, cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := core.Simulate(back, cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(bb) {
+		t.Error("round-tripped trace wears differently")
+	}
+}
+
+// A hand-written program (the paper's Algorithm 1: z = x & y) parses and
+// executes correctly on the functional simulator.
+func TestHandWrittenProgram(t *testing.T) {
+	src := `
+# Algorithm 1: z = x & y, bitwise, 8 lanes (one bit per lane)
+lanes 8
+mask m0 all
+write d0 -> b0 @m0   # x
+write d1 -> b1 @m0   # y
+gate AND b0, b1 -> b2 @m0
+read b2 -> d0 @m0
+`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := array.New(array.Config{BitsPerLane: 8, Lanes: 8})
+	x, y := uint8(0xA5), uint8(0x3C)
+	r, err := array.NewRunner(arr, tr, array.IdentityMapper(8, 8), func(slot, lane int) bool {
+		if slot == 0 {
+			return x>>uint(lane)&1 == 1
+		}
+		return y>>uint(lane)&1 == 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunIteration()
+	var z uint8
+	for l := 0; l < 8; l++ {
+		if r.Out(0, l) {
+			z |= 1 << uint(l)
+		}
+	}
+	if z != x&y {
+		t.Errorf("z = %#x, want %#x", z, x&y)
+	}
+}
+
+// The canonical output format is stable: tools and diffs depend on it.
+func TestPrintGoldenFormat(t *testing.T) {
+	src := "lanes 4\nmask m0 all\nmask m1 1..2\nmask m2 {0,3}\n" +
+		"write d0 -> b0 @m0\nwrite d1 -> b1 @m0\n" +
+		"gate NAND b0, b1 -> b2 @m0\ngate NOT b2 -> b3 @m1\n" +
+		"move b2 l+1 -> b3 @m1\nread b3 -> d0 @m2\n"
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Print(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	want := "# pimendure assembly\n" + src
+	if buf.String() != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no lanes":          "mask m0 all\n",
+		"bad lanes":         "lanes zero\n",
+		"dup lanes":         "lanes 4\nlanes 4\n",
+		"mask order":        "lanes 4\nmask m1 all\n",
+		"bad mask range":    "lanes 4\nmask m0 2..9\n",
+		"bad mask lane":     "lanes 4\nmask m0 {5}\n",
+		"bad mask spec":     "lanes 4\nmask m0 everything\n",
+		"unknown gate":      "lanes 4\nmask m0 all\ngate FROB b0 -> b1 @m0\n",
+		"missing mask":      "lanes 4\nmask m0 all\ngate NOT b0 -> b1\n",
+		"unknown mask":      "lanes 4\nmask m0 all\ngate NOT b0 -> b1 @m7\n",
+		"arity mismatch":    "lanes 4\nmask m0 all\ngate NAND b0 -> b1 @m0\n",
+		"bad bit":           "lanes 4\nmask m0 all\ngate NOT x0 -> b1 @m0\n",
+		"bad write":         "lanes 4\nmask m0 all\nwrite b0 -> d0 @m0\n",
+		"bad read":          "lanes 4\nmask m0 all\nread d0 -> b0 @m0\n",
+		"bad move shift":    "lanes 4\nmask m0 all\nmove b0 q+1 -> b1 @m0\n",
+		"move off array":    "lanes 4\nmask m0 all\nmove b0 l+9 -> b1 @m0\n",
+		"unknown directive": "lanes 4\nfrobnicate\n",
+		"op before lanes":   "gate NOT b0 -> b1 @m0\n",
+		"empty":             "",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseCommentsAndNegativeShift(t *testing.T) {
+	src := `
+lanes 8
+mask m0 4..7   # upper half
+move b0 l-4 -> b1 @m0   # pull from lower half
+`
+	// b0/b1 must exist: declare via a write first.
+	src = strings.Replace(src, "mask m0 4..7   # upper half\n",
+		"mask m0 4..7   # upper half\nmask m1 all\nwrite d0 -> b0 @m1\nwrite d1 -> b1 @m1\n", 1)
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tr.Ops[len(tr.Ops)-1]
+	if last.LaneShift != -4 {
+		t.Errorf("shift = %d, want -4", last.LaneShift)
+	}
+}

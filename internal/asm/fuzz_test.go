@@ -1,0 +1,40 @@
+package asm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the parser: it must never panic, and
+// anything it accepts must survive a print/parse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	f.Add("lanes 4\nmask m0 all\nwrite d0 -> b0 @m0\nread b0 -> d0 @m0\n")
+	f.Add("lanes 8\nmask m0 0..3\nmask m1 {0,4}\n")
+	f.Add("lanes 2\nmask m0 all\nwrite d0 -> b0 @m0\nwrite d1 -> b1 @m0\ngate NAND b0, b1 -> b2 @m0\n")
+	f.Add("lanes 4\nmask m0 all\nwrite d0 -> b0 @m0\nwrite d9 -> b1 @m0\nmove b0 l+1 -> b1 @m0\n")
+	f.Add("# only comments\n\n")
+	f.Add("lanes -1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Print(&buf, tr); err != nil {
+			t.Fatalf("printing an accepted trace failed: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, buf.String())
+		}
+		if len(back.Ops) != len(tr.Ops) || back.Lanes != tr.Lanes {
+			t.Fatalf("round trip changed the trace")
+		}
+		for i := range tr.Ops {
+			if back.Ops[i] != tr.Ops[i] {
+				t.Fatalf("op %d changed: %v vs %v", i, back.Ops[i], tr.Ops[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package baseline
+
+// This file makes the paper's Fig. 6 / Algorithm 1 argument executable:
+// classic NVM load balancing redirects writes per memory word, which is
+// harmless when a CPU computes (data layout is decoupled from
+// computation) but corrupts in-memory computation, which requires input
+// operands to be physically aligned in their lanes.
+
+// ANDDemoResult compares the Fig. 6(a) and 6(b) scenarios for the
+// Algorithm 1 kernel z = x & y.
+type ANDDemoResult struct {
+	X, Y uint8
+	// Want is the correct bitwise AND.
+	Want uint8
+	// CPU is what a conventional architecture computes when y's row was
+	// shifted NVM-style: the CPU reads y back through the address map,
+	// so the shift is invisible and the result is correct.
+	CPU uint8
+	// PIM is what in-memory column-wise AND gates compute on the same
+	// shifted layout: operands are misaligned, the result is wrong
+	// whenever the shift is nonzero and the data is sensitive to it.
+	PIM uint8
+	// PIMAware is the result when the remap shifts both operands
+	// together (a PIM-aware, alignment-preserving remap): correct.
+	PIMAware uint8
+}
+
+// MisalignedANDDemo lays x out in row 0 and y in row 1 of a tiny 8-column
+// array, applies an NVM-style rotation of y's row by `shift` columns, and
+// computes z = x & y three ways (see ANDDemoResult). shift is reduced
+// modulo 8.
+func MisalignedANDDemo(x, y uint8, shift int) ANDDemoResult {
+	shift = ((shift % 8) + 8) % 8
+	var row0, row1 [8]bool
+	for i := 0; i < 8; i++ {
+		row0[i] = x>>uint(i)&1 == 1
+		// NVM-style remap: bit i of y is stored at column (i+shift)%8.
+		row1[(i+shift)%8] = y>>uint(i)&1 == 1
+	}
+
+	res := ANDDemoResult{X: x, Y: y, Want: x & y}
+
+	// Conventional architecture: the memory controller translates
+	// addresses on read, so the CPU sees y intact.
+	var yBack uint8
+	for i := 0; i < 8; i++ {
+		if row1[(i+shift)%8] {
+			yBack |= 1 << uint(i)
+		}
+	}
+	res.CPU = x & yBack
+
+	// PIM: the AND gate fires column-wise on the physical layout; the
+	// gate hardware knows nothing about the per-row remap.
+	for i := 0; i < 8; i++ {
+		if row0[i] && row1[i] {
+			res.PIM |= 1 << uint(i)
+		}
+	}
+
+	// PIM-aware remap: rotate both rows together, preserving alignment.
+	var a0, a1 [8]bool
+	for i := 0; i < 8; i++ {
+		a0[(i+shift)%8] = x>>uint(i)&1 == 1
+		a1[(i+shift)%8] = y>>uint(i)&1 == 1
+	}
+	var shifted uint8
+	for i := 0; i < 8; i++ {
+		if a0[i] && a1[i] {
+			shifted |= 1 << uint(i)
+		}
+	}
+	// Undo the (known) rotation when reading the result out.
+	for i := 0; i < 8; i++ {
+		if shifted>>uint((i+shift)%8)&1 == 1 {
+			res.PIMAware |= 1 << uint(i)
+		}
+	}
+	return res
+}
+
+// CorruptionRate estimates, over all 8-bit operand pairs with the given
+// shift, the fraction for which the NVM-style remap yields a wrong PIM
+// result. A zero shift never corrupts; any nonzero shift corrupts most
+// operand pairs.
+func CorruptionRate(shift int) float64 {
+	wrong := 0
+	for x := 0; x < 256; x++ {
+		for y := 0; y < 256; y++ {
+			r := MisalignedANDDemo(uint8(x), uint8(y), shift)
+			if r.PIM != r.Want {
+				wrong++
+			}
+		}
+	}
+	return float64(wrong) / (256 * 256)
+}

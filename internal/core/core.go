@@ -1,0 +1,425 @@
+// Package core is the endurance characterization engine — the paper's
+// primary contribution. It accumulates per-cell write distributions for a
+// PIM workload executed for many iterations under each of the 18
+// load-balancing configurations of §4 (3 within-lane × 3 between-lane
+// software strategies × hardware re-mapping on/off), from which array
+// lifetime is estimated (Eq. 4).
+//
+// Two engines are provided:
+//
+//   - Simulate — the fast path. Writes of one iteration factorize as a sum
+//     of rank-1 terms Σ_phases rowHist ⊗ laneMask (ops sharing a lane mask
+//     form a phase); software permutations only relabel indices, so each
+//     recompile epoch contributes one O(rows×lanes) accumulation pass.
+//     Hardware renaming evolves per gate and is replayed exactly, O(1) per
+//     op.
+//   - BruteForce — the functional array simulator executing every single
+//     iteration cell by cell. It is mathematically identical and is used
+//     to cross-validate Simulate in the test suite.
+package core
+
+import (
+	"fmt"
+
+	"pimendure/internal/array"
+	"pimendure/internal/mapping"
+	"pimendure/internal/program"
+)
+
+// StrategyConfig is one of the paper's load-balancing configurations,
+// labelled "within×between[+Hw]" (e.g. RaxBs+Hw).
+type StrategyConfig struct {
+	// Within re-maps bit addresses inside lanes (rows, §3.2 "within
+	// lanes"); Between re-maps lanes (columns, "between lanes").
+	Within, Between mapping.Strategy
+	// Hw enables hardware free-bit renaming on every full-lane write.
+	Hw bool
+}
+
+// Name returns the paper's label for the configuration, e.g. "StxRa" or
+// "BsxBs+Hw".
+func (c StrategyConfig) Name() string {
+	n := c.Within.String() + "x" + c.Between.String()
+	if c.Hw {
+		n += "+Hw"
+	}
+	return n
+}
+
+// Static is the no-balancing baseline St×St.
+var Static = StrategyConfig{Within: mapping.Static, Between: mapping.Static}
+
+// AllConfigs enumerates the full 18-configuration space in the paper's
+// presentation order (Figs. 14–16: row strategy × column strategy, then
+// the same nine with +Hw).
+func AllConfigs() []StrategyConfig {
+	var out []StrategyConfig
+	for _, hw := range []bool{false, true} {
+		for _, between := range mapping.Strategies() {
+			for _, within := range mapping.Strategies() {
+				out = append(out, StrategyConfig{Within: within, Between: between, Hw: hw})
+			}
+		}
+	}
+	return out
+}
+
+// SoftwareConfigs enumerates the nine software-only configurations.
+func SoftwareConfigs() []StrategyConfig {
+	all := AllConfigs()
+	return all[:9]
+}
+
+// SimConfig controls a wear simulation.
+type SimConfig struct {
+	// Rows is the physical bit-address count per lane (1024 in §4).
+	Rows int
+	// PresetOutputs charges the CRAM-style output preset write (§4).
+	PresetOutputs bool
+	// Iterations is how many times the benchmark repeats (§4: 100 000).
+	Iterations int
+	// RecompileEvery is the software re-mapping period in iterations
+	// (§4 sweeps 10…10 000; the headline figures use 100). Values ≤ 0
+	// disable software re-mapping (a single epoch).
+	RecompileEvery int
+	// Seed drives the Ra permutation sequence.
+	Seed int64
+	// ShiftStep overrides the Bs rotation per epoch (0 = one byte).
+	ShiftStep int
+}
+
+func (c SimConfig) recompileEvery() int {
+	if c.RecompileEvery <= 0 {
+		return c.Iterations
+	}
+	return c.RecompileEvery
+}
+
+// Validate checks the simulation parameters against a trace.
+func (c SimConfig) Validate(tr *program.Trace, hw bool) error {
+	if c.Rows <= 1 {
+		return fmt.Errorf("core: need at least 2 rows, got %d", c.Rows)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("core: iterations must be positive, got %d", c.Iterations)
+	}
+	arch := c.Rows
+	if hw {
+		arch--
+	}
+	if tr.LaneBits > arch {
+		return fmt.Errorf("core: trace needs %d bit addresses, only %d available (rows=%d, hw=%v)",
+			tr.LaneBits, arch, c.Rows, hw)
+	}
+	return nil
+}
+
+// WriteDist is an accumulated per-cell write-count distribution over a
+// whole simulation — the quantity behind the paper's heatmaps (Figs.
+// 14–16) and lifetime estimates.
+type WriteDist struct {
+	Rows, Lanes int
+	// Counts is indexed [row*Lanes+lane].
+	Counts []uint64
+	// Iterations the distribution was accumulated over.
+	Iterations int
+	// StepsPerIteration is the benchmark's sequential latency (Eq. 4's
+	// Application Latency in device steps).
+	StepsPerIteration int
+}
+
+// NewWriteDist allocates a zeroed distribution.
+func NewWriteDist(rows, lanes int) *WriteDist {
+	return &WriteDist{Rows: rows, Lanes: lanes, Counts: make([]uint64, rows*lanes)}
+}
+
+// At returns the write count of cell (row, lane).
+func (d *WriteDist) At(row, lane int) uint64 { return d.Counts[row*d.Lanes+lane] }
+
+// Max returns the hottest cell's count — Eq. 4's max(WriteCount).
+func (d *WriteDist) Max() uint64 {
+	var m uint64
+	for _, c := range d.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Total sums all cell counts.
+func (d *WriteDist) Total() uint64 {
+	var t uint64
+	for _, c := range d.Counts {
+		t += c
+	}
+	return t
+}
+
+// MaxPerIteration returns the hottest cell's writes per benchmark
+// iteration.
+func (d *WriteDist) MaxPerIteration() float64 {
+	return float64(d.Max()) / float64(d.Iterations)
+}
+
+// Equal reports whether two distributions are cell-for-cell identical
+// (cross-validation of the two engines).
+func (d *WriteDist) Equal(o *WriteDist) bool {
+	if d.Rows != o.Rows || d.Lanes != o.Lanes {
+		return false
+	}
+	for i := range d.Counts {
+		if d.Counts[i] != o.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Simulate accumulates the write distribution of running tr for
+// cfg.Iterations under one load-balancing configuration, using the
+// factorized fast engine.
+func Simulate(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (*WriteDist, error) {
+	if err := cfg.Validate(tr, strat.Hw); err != nil {
+		return nil, err
+	}
+	dist := NewWriteDist(cfg.Rows, tr.Lanes)
+	dist.Iterations = cfg.Iterations
+	dist.StepsPerIteration = tr.Steps(cfg.PresetOutputs)
+
+	arch := cfg.Rows
+	if strat.Hw {
+		arch--
+	}
+	sched := mapping.Schedule{
+		Rows: arch, Lanes: tr.Lanes,
+		Within: strat.Within, Between: strat.Between,
+		Seed: cfg.Seed, ShiftStep: cfg.ShiftStep,
+	}
+	if strat.Hw {
+		simulateHw(tr, cfg, sched, dist)
+	} else {
+		simulateSoftware(tr, cfg, sched, dist)
+	}
+	return dist, nil
+}
+
+// simulateSoftware exploits that without Hw the per-iteration write matrix
+// M0[r][l] is constant; each epoch adds epochLen·M0 permuted by that
+// epoch's maps.
+func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	lanes := tr.Lanes
+	// One-iteration logical write matrix, factorized by mask then
+	// materialized once over the trace's (small) logical row footprint.
+	m0 := make([]uint32, tr.LaneBits*lanes)
+	for _, op := range tr.Ops {
+		w := op.WritesPerLane(cfg.PresetOutputs)
+		if w == 0 {
+			continue
+		}
+		row := int(op.Out)
+		tr.Mask(op.Mask).ForEach(func(l int) {
+			m0[row*lanes+l] += uint32(w)
+		})
+	}
+	// Rows with any writes, to skip cold rows in the per-epoch pass.
+	var hotRows []int
+	for r := 0; r < tr.LaneBits; r++ {
+		hot := false
+		for l := 0; l < lanes; l++ {
+			if m0[r*lanes+l] != 0 {
+				hot = true
+				break
+			}
+		}
+		if hot {
+			hotRows = append(hotRows, r)
+		}
+	}
+
+	every := cfg.recompileEvery()
+	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
+		n := every
+		if start+n > cfg.Iterations {
+			n = cfg.Iterations - start
+		}
+		within := sched.EpochWithin(epoch)
+		between := sched.EpochBetween(epoch)
+		for _, r := range hotRows {
+			pr := within.Apply(r)
+			src := m0[r*lanes:]
+			dst := dist.Counts[pr*lanes:]
+			for l := 0; l < lanes; l++ {
+				if c := src[l]; c != 0 {
+					dst[between.Apply(l)] += uint64(c) * uint64(n)
+				}
+			}
+		}
+	}
+}
+
+// simulateHw replays the hardware renamer exactly: physical row histograms
+// accumulate per lane mask across an epoch, then land in the distribution
+// through that epoch's between-lane permutation.
+func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	lanes := tr.Lanes
+	// Flatten the op stream for the hot loop.
+	type wop struct {
+		row  int32 // logical out row
+		mask int32
+		w    uint8
+		full bool
+	}
+	var ops []wop
+	for _, op := range tr.Ops {
+		if w := op.WritesPerLane(cfg.PresetOutputs); w > 0 {
+			ops = append(ops, wop{
+				row:  int32(op.Out),
+				mask: int32(op.Mask),
+				w:    uint8(w),
+				full: tr.Mask(op.Mask).Full(),
+			})
+		}
+	}
+	maskLanes := make([][]int, len(tr.Masks))
+	for i, m := range tr.Masks {
+		maskLanes[i] = m.Lanes()
+	}
+
+	hw := mapping.NewHwRenamer(cfg.Rows)
+	// hist[mask][physRow] accumulated over one epoch.
+	hist := make([][]uint64, len(tr.Masks))
+	for i := range hist {
+		hist[i] = make([]uint64, cfg.Rows)
+	}
+
+	every := cfg.recompileEvery()
+	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
+		n := every
+		if start+n > cfg.Iterations {
+			n = cfg.Iterations - start
+		}
+		within := sched.EpochWithin(epoch)
+		between := sched.EpochBetween(epoch)
+		hw.Reset()
+		for i := range hist {
+			for r := range hist[i] {
+				hist[i][r] = 0
+			}
+		}
+		for it := 0; it < n; it++ {
+			for _, op := range ops {
+				arch := within.Apply(int(op.row))
+				var phys int
+				if op.full {
+					phys = hw.RenameOnWrite(arch)
+				} else {
+					phys = hw.Lookup(arch)
+				}
+				hist[op.mask][phys] += uint64(op.w)
+			}
+		}
+		for m := range hist {
+			lanesOf := maskLanes[m]
+			for r := 0; r < cfg.Rows; r++ {
+				c := hist[m][r]
+				if c == 0 {
+					continue
+				}
+				dst := dist.Counts[r*lanes:]
+				for _, l := range lanesOf {
+					dst[between.Apply(l)] += c
+				}
+			}
+		}
+	}
+}
+
+// BruteForce accumulates the same distribution by executing every
+// iteration on the functional array simulator under the identical mapping
+// schedule. data supplies operand values (nil for all-zero). It is slow
+// and exists to validate Simulate and to drive functional checks.
+func BruteForce(tr *program.Trace, cfg SimConfig, strat StrategyConfig, data array.DataFunc) (*WriteDist, *array.Runner, error) {
+	if err := cfg.Validate(tr, strat.Hw); err != nil {
+		return nil, nil, err
+	}
+	arch := cfg.Rows
+	var hw *mapping.HwRenamer
+	if strat.Hw {
+		arch--
+		hw = mapping.NewHwRenamer(cfg.Rows)
+	}
+	sched := mapping.Schedule{
+		Rows: arch, Lanes: tr.Lanes,
+		Within: strat.Within, Between: strat.Between,
+		Seed: cfg.Seed, ShiftStep: cfg.ShiftStep,
+	}
+	arr := array.New(array.Config{BitsPerLane: cfg.Rows, Lanes: tr.Lanes, PresetOutputs: cfg.PresetOutputs})
+	m := array.Mapper{Within: sched.EpochWithin(0), Between: sched.EpochBetween(0), Hw: hw}
+	runner, err := array.NewRunner(arr, tr, m, data)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	every := cfg.recompileEvery()
+	epoch := 0
+	for it := 0; it < cfg.Iterations; it++ {
+		if e := it / every; e != epoch {
+			epoch = e
+			if err := runner.Remap(sched.EpochWithin(epoch), sched.EpochBetween(epoch)); err != nil {
+				return nil, nil, err
+			}
+		}
+		runner.RunIteration()
+	}
+
+	dist := NewWriteDist(cfg.Rows, tr.Lanes)
+	dist.Iterations = cfg.Iterations
+	dist.StepsPerIteration = tr.Steps(cfg.PresetOutputs)
+	copy(dist.Counts, arr.WriteCounts())
+	return dist, runner, nil
+}
+
+// LaneProfile returns the per-bit-address write and read counts that one
+// iteration of the trace induces in a single lane under the as-compiled
+// (identity) layout — the paper's Fig. 5. Entries are indexed by logical
+// bit address, 0..LaneBits-1.
+func LaneProfile(tr *program.Trace, preset bool, lane int) (writes, reads []int64) {
+	writes = make([]int64, tr.LaneBits)
+	reads = make([]int64, tr.LaneBits)
+	for _, op := range tr.Ops {
+		mask := tr.Mask(op.Mask)
+		inMask := mask.Get(lane)
+		switch op.Kind {
+		case program.OpGate:
+			if !inMask {
+				continue
+			}
+			writes[op.Out] += int64(op.WritesPerLane(preset))
+			reads[op.In0]++
+			if op.Gate.Arity() == 2 {
+				reads[op.In1]++
+			}
+		case program.OpWrite:
+			if inMask {
+				writes[op.Out]++
+			}
+		case program.OpRead:
+			if inMask {
+				reads[op.In0]++
+			}
+		case program.OpMove:
+			if inMask {
+				writes[op.Out]++
+			}
+			// The read happens in the shifted source lane: this lane
+			// is a source iff (lane − shift) is in the destination
+			// mask.
+			srcOf := lane - int(op.LaneShift)
+			if srcOf >= 0 && srcOf < tr.Lanes && mask.Get(srcOf) {
+				reads[op.In0]++
+			}
+		}
+	}
+	return writes, reads
+}

@@ -1,0 +1,69 @@
+package device
+
+import "testing"
+
+func TestTechnologyCatalogue(t *testing.T) {
+	techs := Technologies()
+	if len(techs) != 4 {
+		t.Fatalf("catalogue has %d entries", len(techs))
+	}
+	names := map[string]bool{}
+	for _, tech := range techs {
+		if err := tech.Validate(); err != nil {
+			t.Errorf("%s: %v", tech.Name, err)
+		}
+		if names[tech.Name] {
+			t.Errorf("duplicate technology %s", tech.Name)
+		}
+		names[tech.Name] = true
+		if tech.Endurance < tech.EnduranceMin || tech.Endurance > tech.EnduranceMax {
+			t.Errorf("%s nominal endurance %g outside range [%g, %g]",
+				tech.Name, tech.Endurance, tech.EnduranceMin, tech.EnduranceMax)
+		}
+		if tech.SwitchSeconds != DefaultSwitchSeconds {
+			t.Errorf("%s switch time %g, want paper's 3 ns", tech.Name, tech.SwitchSeconds)
+		}
+		if tech.String() == "" || tech.Notes == "" {
+			t.Errorf("%s missing documentation", tech.Name)
+		}
+	}
+}
+
+// §2.1's cited figures.
+func TestPaperEnduranceValues(t *testing.T) {
+	if MRAM().Endurance != 1e12 {
+		t.Errorf("MRAM endurance %g, want 1e12 [23,34]", MRAM().Endurance)
+	}
+	if RRAM().EnduranceMin != 1e8 || RRAM().EnduranceMax != 1e9 {
+		t.Errorf("RRAM range [%g,%g], want [1e8,1e9]", RRAM().EnduranceMin, RRAM().EnduranceMax)
+	}
+	if PCM().EnduranceMin != 1e6 || PCM().EnduranceMax != 1e9 {
+		t.Errorf("PCM range [%g,%g], want [1e6,1e9]", PCM().EnduranceMin, PCM().EnduranceMax)
+	}
+	if ProjectedMRAM().Endurance <= MRAM().Endurance {
+		t.Error("projected MRAM should exceed current MRAM")
+	}
+}
+
+func TestWithEndurance(t *testing.T) {
+	m := MRAM().WithEndurance(5e11)
+	if m.Endurance != 5e11 {
+		t.Error("WithEndurance did not apply")
+	}
+	if MRAM().Endurance != 1e12 {
+		t.Error("WithEndurance mutated the constructor result")
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Technology{
+		{Name: "x", Endurance: 0, SwitchSeconds: 1e-9},
+		{Name: "x", Endurance: 1e9, SwitchSeconds: 0},
+		{Name: "x", Endurance: 1e9, SwitchSeconds: 1e-9, EnduranceMin: 10, EnduranceMax: 1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}

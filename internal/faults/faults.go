@@ -1,0 +1,274 @@
+// Package faults models operation of PIM arrays with failed cells (§3.3):
+// because parallel lanes must keep operands at identical bit addresses, a
+// single failed cell makes its bit address unusable in every lane (Fig.
+// 11a), so usable lane capacity collapses rapidly as cells die (Fig. 11b).
+// The lane-set partitioning workaround — using subsets of lanes
+// sequentially so a failure only poisons its own set — trades latency for
+// capacity.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// UsableFractionExpected is the closed form behind Fig. 11b: with a
+// fraction f of the array's cells failed uniformly at random, a given bit
+// address survives only if none of the `lanes` cells holding it failed, so
+// the expected usable fraction of each lane is (1−f)^lanes.
+func UsableFractionExpected(lanes int, failedFrac float64) float64 {
+	if failedFrac <= 0 {
+		return 1
+	}
+	if failedFrac >= 1 {
+		return 0
+	}
+	return math.Pow(1-failedFrac, float64(lanes))
+}
+
+// SimulateUsable places failedCells uniformly at random (without
+// replacement) in a rows×lanes array and returns the fraction of bit
+// addresses with no failed cell, averaged over trials.
+func SimulateUsable(rows, lanes, failedCells, trials int, seed int64) (float64, error) {
+	if rows <= 0 || lanes <= 0 {
+		return 0, fmt.Errorf("faults: invalid array %dx%d", rows, lanes)
+	}
+	total := rows * lanes
+	if failedCells < 0 || failedCells > total {
+		return 0, fmt.Errorf("faults: %d failed cells outside [0, %d]", failedCells, total)
+	}
+	if trials <= 0 {
+		return 0, fmt.Errorf("faults: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sum := 0.0
+	cells := make([]int, total)
+	for i := range cells {
+		cells[i] = i
+	}
+	rowHit := make([]bool, rows)
+	for tr := 0; tr < trials; tr++ {
+		// Partial Fisher-Yates: draw failedCells distinct cells.
+		for i := range rowHit {
+			rowHit[i] = false
+		}
+		for k := 0; k < failedCells; k++ {
+			j := k + rng.Intn(total-k)
+			cells[k], cells[j] = cells[j], cells[k]
+			rowHit[cells[k]/lanes] = true
+		}
+		usable := 0
+		for _, hit := range rowHit {
+			if !hit {
+				usable++
+			}
+		}
+		sum += float64(usable) / float64(rows)
+	}
+	return sum / float64(trials), nil
+}
+
+// CurvePoint is one sample of the Fig. 11b series.
+type CurvePoint struct {
+	FailedFrac   float64 // fraction of the array's cells failed
+	UsableMC     float64 // Monte Carlo usable fraction of each lane
+	UsableClosed float64 // (1−f)^lanes
+}
+
+// UsableCurve samples usable-vs-failed for an array, reproducing Fig. 11b.
+// failedFracs are fractions of the whole array's cells.
+func UsableCurve(rows, lanes int, failedFracs []float64, trials int, seed int64) ([]CurvePoint, error) {
+	out := make([]CurvePoint, 0, len(failedFracs))
+	for i, f := range failedFracs {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("faults: failed fraction %v outside [0,1]", f)
+		}
+		k := int(math.Round(f * float64(rows*lanes)))
+		mc, err := SimulateUsable(rows, lanes, k, trials, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CurvePoint{
+			FailedFrac:   f,
+			UsableMC:     mc,
+			UsableClosed: UsableFractionExpected(lanes, f),
+		})
+	}
+	return out, nil
+}
+
+// LaneSetResult quantifies the §3.3 workaround of splitting an array's
+// lanes into sets that run sequentially.
+type LaneSetResult struct {
+	Sets int
+	// UsableFrac is the expected usable fraction of bit addresses within
+	// one set (averaged over sets and trials): a failure now only
+	// poisons lanes of its own set.
+	UsableFrac float64
+	// LatencyFactor is the serialization cost: sets run one after
+	// another.
+	LatencyFactor int
+	// EffectiveCapacity is UsableFrac / LatencyFactor — usable work per
+	// unit time relative to a pristine unpartitioned array.
+	EffectiveCapacity float64
+}
+
+// LaneSets evaluates splitting the lanes into `sets` equal groups under
+// failedCells uniform random failures, by Monte Carlo.
+func LaneSets(rows, lanes, sets, failedCells, trials int, seed int64) (LaneSetResult, error) {
+	if sets <= 0 || lanes%sets != 0 {
+		return LaneSetResult{}, fmt.Errorf("faults: %d lanes not divisible into %d sets", lanes, sets)
+	}
+	if rows <= 0 {
+		return LaneSetResult{}, fmt.Errorf("faults: invalid rows %d", rows)
+	}
+	total := rows * lanes
+	if failedCells < 0 || failedCells > total {
+		return LaneSetResult{}, fmt.Errorf("faults: %d failed cells outside [0, %d]", failedCells, total)
+	}
+	if trials <= 0 {
+		return LaneSetResult{}, fmt.Errorf("faults: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	setOf := func(lane int) int { return lane / (lanes / sets) }
+	cells := make([]int, total)
+	for i := range cells {
+		cells[i] = i
+	}
+	hit := make([]bool, rows*sets) // (row, set) poisoned
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		for i := range hit {
+			hit[i] = false
+		}
+		for k := 0; k < failedCells; k++ {
+			j := k + rng.Intn(total-k)
+			cells[k], cells[j] = cells[j], cells[k]
+			r, l := cells[k]/lanes, cells[k]%lanes
+			hit[r*sets+setOf(l)] = true
+		}
+		usable := 0
+		for _, h := range hit {
+			if !h {
+				usable++
+			}
+		}
+		sum += float64(usable) / float64(rows*sets)
+	}
+	frac := sum / float64(trials)
+	return LaneSetResult{
+		Sets:              sets,
+		UsableFrac:        frac,
+		LatencyFactor:     sets,
+		EffectiveCapacity: frac / float64(sets),
+	}, nil
+}
+
+// GracefulResult summarizes operation past the first cell failure when
+// the system remaps dead bit addresses onto spare rows (§3.3 asks to what
+// extent arrays remain functional with failed cells; this quantifies the
+// remap-on-failure policy the paper's related work [42] applies to plain
+// NVM).
+type GracefulResult struct {
+	// FirstFailureIters is when the first row dies (the paper's Eq. 4
+	// array lifetime).
+	FirstFailureIters float64
+	// UnusableIters is when a row dies with no spare left — the program
+	// no longer fits and the array is truly dead.
+	UnusableIters float64
+	// Remaps is how many row replacements happened in between.
+	Remaps int
+}
+
+// ExtensionFactor is the lifetime gained by tolerating failures.
+func (g GracefulResult) ExtensionFactor() float64 {
+	if g.FirstFailureIters <= 0 {
+		return math.NaN()
+	}
+	return g.UnusableIters / g.FirstFailureIters
+}
+
+// GracefulLifetime event-simulates remap-on-failure: the program occupies
+// len(rowRates) logical rows, each wearing its current physical row at
+// rowRates[i] hottest-cell writes per iteration; totalRows − len(rowRates)
+// spare rows start unworn; when a physical row's cumulative hottest-cell
+// writes reach endurance it dies and its logical row moves to a spare.
+// Rows with zero rate never die. The simulation ends when a death finds no
+// spare.
+func GracefulLifetime(rowRates []float64, totalRows int, endurance float64) (GracefulResult, error) {
+	if endurance <= 0 {
+		return GracefulResult{}, fmt.Errorf("faults: non-positive endurance %v", endurance)
+	}
+	if len(rowRates) == 0 || len(rowRates) > totalRows {
+		return GracefulResult{}, fmt.Errorf("faults: %d program rows do not fit %d physical rows",
+			len(rowRates), totalRows)
+	}
+	anyWear := false
+	for _, r := range rowRates {
+		if r < 0 {
+			return GracefulResult{}, fmt.Errorf("faults: negative write rate %v", r)
+		}
+		if r > 0 {
+			anyWear = true
+		}
+	}
+	if !anyWear {
+		return GracefulResult{}, fmt.Errorf("faults: program writes nothing; lifetime unbounded")
+	}
+
+	remaining := make([]float64, len(rowRates))
+	for i := range remaining {
+		remaining[i] = endurance
+	}
+	spares := totalRows - len(rowRates)
+	var res GracefulResult
+	now := 0.0
+	for {
+		// Next death: argmin remaining/rate over wearing rows.
+		next, dt := -1, math.Inf(1)
+		for i, r := range rowRates {
+			if r <= 0 {
+				continue
+			}
+			if d := remaining[i] / r; d < dt {
+				dt, next = d, i
+			}
+		}
+		now += dt
+		if res.FirstFailureIters == 0 {
+			res.FirstFailureIters = now
+		}
+		for i, r := range rowRates {
+			remaining[i] -= dt * r
+		}
+		if spares == 0 {
+			res.UnusableIters = now
+			return res, nil
+		}
+		spares--
+		remaining[next] = endurance
+		res.Remaps++
+	}
+}
+
+// FailureTimeline maps a write distribution to the fraction of cells
+// failed as iterations accumulate: cell c fails once iterations ×
+// writesPerIteration(c) exceeds the endurance. It returns the failed
+// fraction at each multiple of the distribution's accumulated iteration
+// count given in `at` (e.g. at = {1e6, 1e7, …} iterations). counts must be
+// the accumulated per-cell writes over `iterations` iterations.
+func FailureTimeline(counts []uint64, iterations int, endurance float64, at []float64) []float64 {
+	out := make([]float64, len(at))
+	for i, iters := range at {
+		failed := 0
+		for _, c := range counts {
+			perIter := float64(c) / float64(iterations)
+			if perIter > 0 && perIter*iters >= endurance {
+				failed++
+			}
+		}
+		out[i] = float64(failed) / float64(len(counts))
+	}
+	return out
+}

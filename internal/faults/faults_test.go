@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUsableFractionExpectedEdges(t *testing.T) {
+	if UsableFractionExpected(1024, 0) != 1 {
+		t.Error("no failures should leave everything usable")
+	}
+	if UsableFractionExpected(1024, 1) != 0 {
+		t.Error("all failed should leave nothing usable")
+	}
+	// One failed cell per lane on average (f = 1/lanes) leaves ≈ e⁻¹.
+	got := UsableFractionExpected(1024, 1.0/1024)
+	if math.Abs(got-math.Exp(-1)) > 0.01 {
+		t.Errorf("f=1/lanes: %v, want ≈ 1/e", got)
+	}
+}
+
+// Fig. 11b's headline: even a tiny failed fraction wipes out most of the
+// lane, and larger arrays collapse at least as fast.
+func TestUsableCollapsesQuickly(t *testing.T) {
+	for _, lanes := range []int{256, 512, 1024} {
+		// 1% of cells failed.
+		u := UsableFractionExpected(lanes, 0.01)
+		if u > 0.08 {
+			t.Errorf("lanes=%d: 1%% failures leave %.3f usable, expected collapse", lanes, u)
+		}
+	}
+	if UsableFractionExpected(1024, 0.005) >= UsableFractionExpected(256, 0.005) {
+		t.Error("wider arrays should lose at least as much capacity")
+	}
+}
+
+func TestSimulateUsableMatchesClosedForm(t *testing.T) {
+	const rows, lanes = 64, 64
+	for _, f := range []float64{0.001, 0.01, 0.03} {
+		k := int(f * rows * lanes)
+		mc, err := SimulateUsable(rows, lanes, k, 400, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := UsableFractionExpected(lanes, float64(k)/float64(rows*lanes))
+		if math.Abs(mc-want) > 0.03 {
+			t.Errorf("f=%v: MC %.4f vs closed form %.4f", f, mc, want)
+		}
+	}
+}
+
+func TestSimulateUsableEdges(t *testing.T) {
+	if u, err := SimulateUsable(8, 8, 0, 10, 1); err != nil || u != 1 {
+		t.Errorf("0 failures: %v, %v", u, err)
+	}
+	if u, err := SimulateUsable(8, 8, 64, 10, 1); err != nil || u != 0 {
+		t.Errorf("all failed: %v, %v", u, err)
+	}
+	if _, err := SimulateUsable(0, 8, 0, 10, 1); err == nil {
+		t.Error("invalid rows accepted")
+	}
+	if _, err := SimulateUsable(8, 8, 100, 10, 1); err == nil {
+		t.Error("too many failures accepted")
+	}
+	if _, err := SimulateUsable(8, 8, 1, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestUsableCurve(t *testing.T) {
+	pts, err := UsableCurve(64, 64, []float64{0, 0.005, 0.01, 0.02}, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].UsableClosed > pts[i-1].UsableClosed {
+			t.Error("closed-form curve should be non-increasing")
+		}
+		if pts[i].UsableMC > pts[i-1].UsableMC+0.05 {
+			t.Error("MC curve should be (noisily) non-increasing")
+		}
+	}
+	if _, err := UsableCurve(8, 8, []float64{-0.1}, 10, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+// §3.3: lane sets raise the usable fraction but pay latency; with a fixed
+// failure population, more sets ⇒ more usable rows per set.
+func TestLaneSets(t *testing.T) {
+	const rows, lanes = 64, 64
+	failed := 40
+	prev := -1.0
+	for _, sets := range []int{1, 2, 4, 8} {
+		res, err := LaneSets(rows, lanes, sets, failed, 300, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LatencyFactor != sets {
+			t.Errorf("sets=%d latency factor %d", sets, res.LatencyFactor)
+		}
+		if res.UsableFrac < prev-0.02 {
+			t.Errorf("sets=%d usable %.3f dropped below %d-set value %.3f", sets, res.UsableFrac, sets/2, prev)
+		}
+		prev = res.UsableFrac
+		if math.Abs(res.EffectiveCapacity-res.UsableFrac/float64(sets)) > 1e-12 {
+			t.Error("effective capacity inconsistent")
+		}
+	}
+	// One set must agree with the plain simulation.
+	one, _ := LaneSets(rows, lanes, 1, failed, 300, 5)
+	plain, _ := SimulateUsable(rows, lanes, failed, 300, 5)
+	if math.Abs(one.UsableFrac-plain) > 0.03 {
+		t.Errorf("1-set %.3f vs plain %.3f", one.UsableFrac, plain)
+	}
+}
+
+func TestLaneSetsErrors(t *testing.T) {
+	if _, err := LaneSets(8, 8, 3, 1, 10, 1); err == nil {
+		t.Error("indivisible sets accepted")
+	}
+	if _, err := LaneSets(8, 8, 0, 1, 10, 1); err == nil {
+		t.Error("zero sets accepted")
+	}
+	if _, err := LaneSets(0, 8, 1, 1, 10, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := LaneSets(8, 8, 1, 65, 10, 1); err == nil {
+		t.Error("too many failures accepted")
+	}
+	if _, err := LaneSets(8, 8, 1, 1, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestGracefulLifetimeUniform(t *testing.T) {
+	// 4 program rows at rate 10, endurance 100, 6 spares: all four die at
+	// t=10, four spares absorb them; at t=20 four more die, two spares
+	// left -> one death remapped... sequential processing: deaths are
+	// handled one at a time, so the exact schedule is: 4 deaths at t=10
+	// (4 spares consumed), 2 deaths at t=20 consume the rest, the next
+	// death at t=20 finds none.
+	res, err := GracefulLifetime([]float64{10, 10, 10, 10}, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstFailureIters != 10 {
+		t.Errorf("first failure = %v, want 10", res.FirstFailureIters)
+	}
+	if res.UnusableIters != 20 {
+		t.Errorf("unusable = %v, want 20", res.UnusableIters)
+	}
+	if res.Remaps != 6 {
+		t.Errorf("remaps = %v, want 6", res.Remaps)
+	}
+	if res.ExtensionFactor() != 2 {
+		t.Errorf("extension = %v, want 2", res.ExtensionFactor())
+	}
+}
+
+func TestGracefulLifetimeSkewed(t *testing.T) {
+	// One hot row (rate 100) and one cold (rate 1), 1 spare, endurance
+	// 1000: hot dies at 10, remaps to the spare, dies again at 20.
+	res, err := GracefulLifetime([]float64{100, 1}, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstFailureIters != 10 || res.UnusableIters != 20 || res.Remaps != 1 {
+		t.Errorf("got %+v, want first 10 unusable 20 remaps 1", res)
+	}
+	// Zero-rate rows never die even with huge simulated spans.
+	res2, err := GracefulLifetime([]float64{5, 0}, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.UnusableIters != 10 || res2.Remaps != 0 {
+		t.Errorf("zero-rate handling wrong: %+v", res2)
+	}
+}
+
+func TestGracefulLifetimeNoSpares(t *testing.T) {
+	res, err := GracefulLifetime([]float64{2, 4}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hotter row dies first at 25; no spares ⇒ unusable immediately.
+	if res.FirstFailureIters != 25 || res.UnusableIters != 25 {
+		t.Errorf("got %+v, want 25/25", res)
+	}
+	if res.ExtensionFactor() != 1 {
+		t.Errorf("extension = %v, want 1", res.ExtensionFactor())
+	}
+}
+
+func TestGracefulLifetimeErrors(t *testing.T) {
+	if _, err := GracefulLifetime([]float64{1}, 1, 0); err == nil {
+		t.Error("zero endurance accepted")
+	}
+	if _, err := GracefulLifetime(nil, 4, 10); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := GracefulLifetime([]float64{1, 1, 1}, 2, 10); err == nil {
+		t.Error("oversized program accepted")
+	}
+	if _, err := GracefulLifetime([]float64{-1}, 2, 10); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := GracefulLifetime([]float64{0, 0}, 4, 10); err == nil {
+		t.Error("never-wearing program accepted")
+	}
+}
+
+func TestFailureTimeline(t *testing.T) {
+	// Two cells: one written 10/iter, one 1/iter, accumulated over 10
+	// iterations; endurance 100 ⇒ first fails at 10 iters, second at 100.
+	counts := []uint64{100, 10}
+	got := FailureTimeline(counts, 10, 100, []float64{5, 10, 50, 100, 1000})
+	want := []float64{0, 0.5, 0.5, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("timeline[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Never-written cells never fail.
+	got = FailureTimeline([]uint64{0, 5}, 1, 1, []float64{1e18})
+	if got[0] != 0.5 {
+		t.Errorf("unwritten cell failed: %v", got[0])
+	}
+}

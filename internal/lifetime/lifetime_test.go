@@ -1,0 +1,100 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Abs(b)
+}
+
+// Eq. 1 of the paper: a 1024×1024 array at 10¹² endurance performs at most
+// 1.07×10¹⁴ 32-bit multiplications (9 824 writes each).
+func TestEq1UpperBoundOps(t *testing.T) {
+	got := UpperBoundOps(1024, 1024, 1e12, 9824)
+	if !almost(got, 1.07e14, 0.005) {
+		t.Errorf("Eq.1 = %.4g, want 1.07e14", got)
+	}
+}
+
+// Eq. 2: at full utilization and 3 ns per gate, total break-down takes
+// 3 072 000 s = 35.56 days.
+func TestEq2UpperBoundSeconds(t *testing.T) {
+	got := UpperBoundSeconds(1024, 1024, 1e12, 3e-9)
+	if !almost(got, 3072000, 1e-9) {
+		t.Errorf("Eq.2 = %v s, want 3072000", got)
+	}
+	days := got / SecondsPerDay
+	if !almost(days, 35.56, 0.001) {
+		t.Errorf("Eq.2 = %.2f days, want 35.56", days)
+	}
+}
+
+// §3.1: with RRAM endurance of ~10⁸, time to failure is just over 5
+// minutes.
+func TestRRAMFiveMinutes(t *testing.T) {
+	got := UpperBoundSeconds(1024, 1024, 1e8, 3e-9)
+	if got < 300 || got > 330 {
+		t.Errorf("RRAM upper bound = %v s, want just over 5 minutes", got)
+	}
+}
+
+func TestEstimateEq4(t *testing.T) {
+	m := Model{Endurance: 1e12, StepSeconds: 3e-9}
+	// A benchmark writing its hottest cell 10 times per iteration with a
+	// 1000-step latency: 1e11 iterations × 3 µs = 3e5 s.
+	r, err := m.Estimate(10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.IterationsToFailure, 1e11, 1e-12) {
+		t.Errorf("iterations = %g", r.IterationsToFailure)
+	}
+	if !almost(r.Seconds, 3e5, 1e-12) {
+		t.Errorf("seconds = %g", r.Seconds)
+	}
+	if !almost(r.Days(), 3e5/86400, 1e-12) {
+		t.Errorf("days = %g", r.Days())
+	}
+	if r.String() == "" {
+		t.Error("empty string form")
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	good := Model{Endurance: 1e12, StepSeconds: 3e-9}
+	if _, err := (Model{Endurance: 0, StepSeconds: 1}).Estimate(1, 1); err == nil {
+		t.Error("zero endurance accepted")
+	}
+	if _, err := good.Estimate(0, 1); err == nil {
+		t.Error("zero writes accepted")
+	}
+	if _, err := good.Estimate(1, 0); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100, 50); got != 2 {
+		t.Errorf("improvement = %v, want 2", got)
+	}
+	if !math.IsNaN(Improvement(0, 5)) || !math.IsNaN(Improvement(5, 0)) {
+		t.Error("degenerate improvements should be NaN")
+	}
+}
+
+// Lifetime scales linearly with endurance and inversely with the hottest
+// cell's write rate — the two levers the paper's conclusion discusses.
+func TestScalingProperties(t *testing.T) {
+	m := Model{Endurance: 1e9, StepSeconds: 3e-9}
+	base, _ := m.Estimate(20, 500)
+	double, _ := Model{Endurance: 2e9, StepSeconds: 3e-9}.Estimate(20, 500)
+	if !almost(double.Seconds, 2*base.Seconds, 1e-12) {
+		t.Error("lifetime not linear in endurance")
+	}
+	balanced, _ := m.Estimate(10, 500)
+	if !almost(balanced.Seconds, 2*base.Seconds, 1e-12) {
+		t.Error("lifetime not inverse in max write rate")
+	}
+}

@@ -1,0 +1,114 @@
+package lifetime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// The paper assumes identical endurance for every cell and notes this is
+// pessimistic: "the actual endurance is more likely to vary across cells
+// (our approach can be thought of as using the average endurance for the
+// expected lifetime)" (§4). This file quantifies that caveat: cell
+// endurance is drawn from a lognormal distribution around the nominal
+// value and the first-failure time becomes a random variable whose
+// quantiles we estimate by Monte Carlo.
+
+// VarModel is a lifetime model with lognormal per-cell endurance
+// variability.
+type VarModel struct {
+	// MedianEndurance is the nominal writes-to-failure (the lognormal's
+	// median, exp(µ)).
+	MedianEndurance float64
+	// Sigma is the lognormal shape parameter (σ of ln endurance); 0.3–1
+	// covers reported NVM endurance spreads.
+	Sigma float64
+	// StepSeconds is the device time per sequential operation.
+	StepSeconds float64
+}
+
+// VarResult summarizes the Monte Carlo first-failure distribution, in
+// benchmark iterations.
+type VarResult struct {
+	Trials int
+	// MeanIterations is the expected iterations to first cell failure.
+	MeanIterations float64
+	// P05 and P95 bound the central 90% of the distribution.
+	P05, P95 float64
+	// DeterministicIterations is the uniform-endurance (Eq. 4) value for
+	// comparison: MedianEndurance / max writes-per-iteration.
+	DeterministicIterations float64
+}
+
+// FirstFailure Monte-Carlo samples the iterations until the first cell
+// failure for a write distribution accumulated over `iterations`
+// iterations: each trial draws an endurance for every written cell and
+// takes min over cells of endurance/writesPerIteration. Unwritten cells
+// never fail.
+func (m VarModel) FirstFailure(counts []uint64, iterations, trials int, seed int64) (VarResult, error) {
+	if m.MedianEndurance <= 0 || m.StepSeconds <= 0 {
+		return VarResult{}, fmt.Errorf("lifetime: non-positive model parameters %+v", m)
+	}
+	if m.Sigma < 0 {
+		return VarResult{}, fmt.Errorf("lifetime: negative sigma %v", m.Sigma)
+	}
+	if iterations <= 0 || trials <= 0 {
+		return VarResult{}, fmt.Errorf("lifetime: iterations and trials must be positive")
+	}
+	// Per-iteration write rates of the written cells only.
+	rates := make([]float64, 0, len(counts))
+	var maxRate float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		r := float64(c) / float64(iterations)
+		rates = append(rates, r)
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	if len(rates) == 0 {
+		return VarResult{}, fmt.Errorf("lifetime: distribution has no written cells")
+	}
+
+	mu := math.Log(m.MedianEndurance)
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, trials)
+	for t := range samples {
+		first := math.Inf(1)
+		for _, r := range rates {
+			endurance := math.Exp(mu + m.Sigma*rng.NormFloat64())
+			if life := endurance / r; life < first {
+				first = life
+			}
+		}
+		samples[t] = first
+	}
+	sort.Float64s(samples)
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(trials))
+		if i >= trials {
+			i = trials - 1
+		}
+		return samples[i]
+	}
+	return VarResult{
+		Trials:                  trials,
+		MeanIterations:          sum / float64(trials),
+		P05:                     q(0.05),
+		P95:                     q(0.95),
+		DeterministicIterations: m.MedianEndurance / maxRate,
+	}, nil
+}
+
+// Seconds converts an iteration count to wall-clock time for a benchmark
+// with the given sequential step count.
+func (m VarModel) Seconds(iterations float64, stepsPerIteration int) float64 {
+	return iterations * float64(stepsPerIteration) * m.StepSeconds
+}

@@ -1,0 +1,104 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVarModelZeroSigmaMatchesDeterministic(t *testing.T) {
+	m := VarModel{MedianEndurance: 1e6, Sigma: 0, StepSeconds: 3e-9}
+	counts := []uint64{100, 50, 0, 10}
+	res, err := m.FirstFailure(counts, 10, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no variability every trial equals endurance / max rate.
+	want := 1e6 / 10.0
+	if math.Abs(res.MeanIterations-want) > 1e-6*want {
+		t.Errorf("mean = %g, want %g", res.MeanIterations, want)
+	}
+	if res.P05 != res.P95 {
+		t.Error("zero-sigma quantiles should coincide")
+	}
+	if math.Abs(res.DeterministicIterations-want) > 1e-9 {
+		t.Errorf("deterministic = %g, want %g", res.DeterministicIterations, want)
+	}
+}
+
+// Variability across many competing cells makes the *minimum* fail
+// earlier than the uniform-endurance model — the paper's pessimism caveat
+// actually cuts the other way for first-failure.
+func TestVariabilityShortensFirstFailure(t *testing.T) {
+	m := VarModel{MedianEndurance: 1e6, Sigma: 0.7, StepSeconds: 3e-9}
+	counts := make([]uint64, 1000)
+	for i := range counts {
+		counts[i] = 100 // perfectly balanced: 1000 competing cells
+	}
+	res, err := m.FirstFailure(counts, 10, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanIterations >= res.DeterministicIterations {
+		t.Errorf("min over varying cells (%g) should undercut deterministic (%g)",
+			res.MeanIterations, res.DeterministicIterations)
+	}
+	if !(res.P05 < res.MeanIterations && res.MeanIterations < res.P95) {
+		t.Errorf("quantiles disordered: %g %g %g", res.P05, res.MeanIterations, res.P95)
+	}
+}
+
+// More spread ⇒ earlier first failure (stochastic ordering of minima).
+func TestSigmaMonotonicity(t *testing.T) {
+	counts := make([]uint64, 500)
+	for i := range counts {
+		counts[i] = 10
+	}
+	prev := math.Inf(1)
+	for _, sigma := range []float64{0.2, 0.5, 1.0} {
+		m := VarModel{MedianEndurance: 1e8, Sigma: sigma, StepSeconds: 3e-9}
+		res, err := m.FirstFailure(counts, 10, 150, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanIterations >= prev {
+			t.Errorf("sigma %v: mean %g did not decrease (prev %g)", sigma, res.MeanIterations, prev)
+		}
+		prev = res.MeanIterations
+	}
+}
+
+// Unwritten cells must never fail: a distribution with one written cell
+// behaves like a single lognormal draw whose mean exceeds the median.
+func TestSingleHotCell(t *testing.T) {
+	m := VarModel{MedianEndurance: 1e6, Sigma: 0.5, StepSeconds: 3e-9}
+	counts := []uint64{0, 0, 1000, 0}
+	res, err := m.FirstFailure(counts, 10, 4000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[lognormal] = median·exp(σ²/2) > median: the mean over trials of a
+	// single cell's life should exceed the deterministic value.
+	if res.MeanIterations <= res.DeterministicIterations {
+		t.Errorf("single-cell mean %g should exceed deterministic %g (lognormal mean > median)",
+			res.MeanIterations, res.DeterministicIterations)
+	}
+}
+
+func TestVarModelValidation(t *testing.T) {
+	good := VarModel{MedianEndurance: 1e6, Sigma: 0.5, StepSeconds: 3e-9}
+	if _, err := (VarModel{Sigma: 0.5, StepSeconds: 1}).FirstFailure([]uint64{1}, 1, 1, 1); err == nil {
+		t.Error("zero endurance accepted")
+	}
+	if _, err := (VarModel{MedianEndurance: 1, Sigma: -1, StepSeconds: 1}).FirstFailure([]uint64{1}, 1, 1, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := good.FirstFailure([]uint64{1}, 0, 1, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := good.FirstFailure([]uint64{0, 0}, 1, 1, 1); err == nil {
+		t.Error("unwritten distribution accepted")
+	}
+	if s := good.Seconds(100, 1000); math.Abs(s-100*1000*3e-9) > 1e-12 {
+		t.Errorf("Seconds = %g", s)
+	}
+}

@@ -1,0 +1,195 @@
+// Package opt optimizes compiled PIM traces. The paper observes that
+// within a lane all gates are sequential, so "optimizing both the latency
+// and energy of a PIM computation … is simply finding the decomposition
+// which requires the fewest logic gates" (§2.2) — every removed gate is
+// one time step, one output-cell write (two with presets) and its input
+// reads saved, which also directly extends endurance.
+//
+// Two classical passes are provided, both proven functionality-preserving
+// by the test suite (identical read-slot outputs on the bit-accurate
+// simulator):
+//
+//   - copy propagation: reads of a COPY gate's destination are redirected
+//     to its source while the source is unchanged and the reader's lane
+//     mask is covered;
+//   - dead-write elimination: gates whose output is never observed — read
+//     by a later gate, readout or move before being fully overwritten —
+//     are removed, iterating until a fixed point so whole dead chains
+//     (such as COPYs orphaned by propagation) disappear.
+package opt
+
+import (
+	"pimendure/internal/gates"
+	"pimendure/internal/program"
+)
+
+// Options selects the passes to run.
+type Options struct {
+	// PropagateCopies rewrites readers of COPY outputs to read the
+	// source directly. Only valid for architectures whose COPY is a
+	// pure data movement (all modelled ones).
+	PropagateCopies bool
+	// EliminateDead removes gates whose outputs are never observed.
+	EliminateDead bool
+}
+
+// All enables every pass.
+func All() Options { return Options{PropagateCopies: true, EliminateDead: true} }
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	// RewrittenInputs counts gate/read inputs redirected by copy
+	// propagation.
+	RewrittenInputs int
+	// RemovedGates counts gate ops eliminated.
+	RemovedGates int
+	// Passes is the number of dead-elimination sweeps until fixpoint.
+	Passes int
+}
+
+// Optimize returns an optimized copy of the trace (the input is not
+// modified) together with statistics. Write and read ops — the external
+// interface — and moves are always preserved.
+func Optimize(tr *program.Trace, o Options) (*program.Trace, Stats) {
+	var st Stats
+	ops := make([]program.Op, len(tr.Ops))
+	copy(ops, tr.Ops)
+
+	if o.PropagateCopies {
+		st.RewrittenInputs = propagateCopies(tr, ops)
+	}
+	removed := make([]bool, len(ops))
+	if o.EliminateDead {
+		for {
+			st.Passes++
+			n := eliminateDead(tr, ops, removed)
+			st.RemovedGates += n
+			if n == 0 {
+				break
+			}
+		}
+	}
+
+	// Rebuild a fresh trace, re-interning masks.
+	out := program.NewTrace(tr.Lanes)
+	out.WriteSlots = tr.WriteSlots
+	out.ReadSlots = tr.ReadSlots
+	maskMap := make([]program.MaskID, len(tr.Masks))
+	for i, m := range tr.Masks {
+		maskMap[i] = out.AddMask(m)
+	}
+	for i, op := range ops {
+		if removed[i] {
+			continue
+		}
+		op.Mask = maskMap[op.Mask]
+		out.Append(op)
+	}
+	if out.LaneBits < tr.LaneBits {
+		out.LaneBits = tr.LaneBits
+	}
+	return out, st
+}
+
+// aliasEntry records that reads of dst may be served by src while src's
+// version is unchanged, for readers whose mask is a subset of mask.
+type aliasEntry struct {
+	src        program.Bit
+	srcVersion int32
+	mask       program.MaskID
+}
+
+// propagateCopies rewrites reader inputs in place and returns the count.
+func propagateCopies(tr *program.Trace, ops []program.Op) int {
+	version := make([]int32, tr.LaneBits)
+	alias := make(map[program.Bit]aliasEntry)
+	rewritten := 0
+
+	// resolve follows at most one alias hop (entries always point at the
+	// copy's original source because new aliases resolve at record time).
+	resolve := func(b program.Bit, readerMask program.MaskID) program.Bit {
+		e, ok := alias[b]
+		if !ok {
+			return b
+		}
+		if version[e.src] != e.srcVersion {
+			return b
+		}
+		if readerMask != e.mask && !tr.Masks[readerMask].Subset(tr.Masks[e.mask]) {
+			return b
+		}
+		rewritten++
+		return e.src
+	}
+
+	for i := range ops {
+		op := &ops[i]
+		// Rewrite reads first.
+		switch op.Kind {
+		case program.OpGate:
+			op.In0 = resolve(op.In0, op.Mask)
+			if op.Gate.Arity() == 2 {
+				op.In1 = resolve(op.In1, op.Mask)
+			}
+		case program.OpRead:
+			op.In0 = resolve(op.In0, op.Mask)
+			// Moves read in shifted lanes; stay conservative there.
+		}
+		// Then account the write.
+		if op.WritesPerLane(false) == 0 {
+			continue
+		}
+		out := op.Out
+		version[out]++
+		delete(alias, out)
+		if op.Kind == program.OpGate && op.Gate == gates.COPY {
+			src := op.In0 // already resolved above
+			if src != out {
+				alias[out] = aliasEntry{src: src, srcVersion: version[src], mask: op.Mask}
+			}
+		}
+	}
+	return rewritten
+}
+
+// eliminateDead marks gates whose output is never observed. One backward
+// sweep; callers iterate to fixpoint. Mask-partial writes never terminate
+// liveness (lanes outside the writer's mask still hold the old value).
+func eliminateDead(tr *program.Trace, ops []program.Op, removed []bool) int {
+	needed := make([]bool, tr.LaneBits)
+	count := 0
+	for i := len(ops) - 1; i >= 0; i-- {
+		if removed[i] {
+			continue
+		}
+		op := ops[i]
+		switch op.Kind {
+		case program.OpGate:
+			if !needed[op.Out] {
+				removed[i] = true
+				count++
+				continue
+			}
+			if tr.Masks[op.Mask].Full() {
+				needed[op.Out] = false
+			}
+			needed[op.In0] = true
+			if op.Gate.Arity() == 2 {
+				needed[op.In1] = true
+			}
+		case program.OpWrite:
+			// External interface: always kept. A full-lane write
+			// overwrites the bit entirely.
+			if tr.Masks[op.Mask].Full() {
+				needed[op.Out] = false
+			}
+		case program.OpRead:
+			needed[op.In0] = true
+		case program.OpMove:
+			// Kept: inter-lane data movement; conservatively treat
+			// the destination as still live below (partial masks).
+			needed[op.In0] = true
+		}
+	}
+	return count
+}

@@ -1,0 +1,246 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimendure/internal/array"
+	"pimendure/internal/gates"
+	"pimendure/internal/opt"
+	"pimendure/internal/program"
+	"pimendure/internal/synth"
+	"pimendure/internal/workloads"
+)
+
+// execute runs a trace on an identity-mapped array and returns all read
+// slot outputs.
+func execute(t *testing.T, tr *program.Trace, rows int, data array.DataFunc) [][]bool {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	arr := array.New(array.Config{BitsPerLane: rows, Lanes: tr.Lanes})
+	r, err := array.NewRunner(arr, tr, array.IdentityMapper(rows, tr.Lanes), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunIteration()
+	out := make([][]bool, tr.ReadSlots)
+	for s := range out {
+		out[s] = make([]bool, tr.Lanes)
+		for l := 0; l < tr.Lanes; l++ {
+			out[s][l] = r.Out(s, l)
+		}
+	}
+	return out
+}
+
+// assertEquivalent optimizes tr and checks identical outputs on random
+// data, returning the optimized trace and stats.
+func assertEquivalent(t *testing.T, tr *program.Trace, rows int, o opt.Options, seed int64) (*program.Trace, opt.Stats) {
+	t.Helper()
+	data := func(slot, lane int) bool {
+		z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(slot)*2654435761 + uint64(lane)*40503
+		z ^= z >> 29
+		return z&1 == 1
+	}
+	want := execute(t, tr, rows, data)
+	opted, st := opt.Optimize(tr, o)
+	got := execute(t, opted, rows, data)
+	if len(got) != len(want) {
+		t.Fatalf("read slots changed: %d vs %d", len(got), len(want))
+	}
+	for s := range want {
+		for l := range want[s] {
+			if got[s][l] != want[s][l] {
+				t.Fatalf("output d%d lane %d changed after optimization", s, l)
+			}
+		}
+	}
+	return opted, st
+}
+
+func gateCount(tr *program.Trace) int {
+	n := 0
+	for _, op := range tr.Ops {
+		if op.Kind == program.OpGate {
+			n++
+		}
+	}
+	return n
+}
+
+// The shuffled multiply (Fig. 10) carries 4b COPY gates; copy propagation
+// plus dead elimination must strip the 2b input COPYs while preserving the
+// exact product (the 2b output COPYs are the interface and must stay).
+func TestOptimizeShuffledMult(t *testing.T) {
+	const b = 8
+	bld := program.NewBuilder(4, 2048)
+	x, _ := bld.WriteVector(b)
+	y, _ := bld.WriteVector(b)
+	out := bld.AllocN(2 * b)
+	synth.ShuffledMult(bld, synth.NAND, x, y, out)
+	bld.ReadVector(out)
+	tr := bld.Trace()
+
+	opted, st := assertEquivalent(t, tr, 2048, opt.All(), 3)
+	saved := gateCount(tr) - gateCount(opted)
+	if saved < 2*b {
+		t.Errorf("expected ≥%d gates removed (input copies), got %d", 2*b, saved)
+	}
+	if st.RemovedGates != saved {
+		t.Errorf("stats removed %d, trace lost %d", st.RemovedGates, saved)
+	}
+	if st.RewrittenInputs == 0 {
+		t.Error("no inputs rewritten")
+	}
+}
+
+// Benchmarks compiled by the workload compiler are already copy-free and
+// fully live: the optimizer must be an exact identity on them.
+func TestOptimizerIdentityOnBenchmarks(t *testing.T) {
+	cfg := workloads.Config{Lanes: 8, Rows: 256, Basis: synth.NAND}
+	mult, err := workloads.ParallelMult(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, err := workloads.DotProduct(cfg, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []*workloads.Benchmark{mult, dot} {
+		opted, st := assertEquivalent(t, bench.Trace, 256, opt.All(), 5)
+		if len(opted.Ops) != len(bench.Trace.Ops) {
+			t.Errorf("%s: op count changed %d -> %d (removed %d)",
+				bench.Name, len(bench.Trace.Ops), len(opted.Ops), st.RemovedGates)
+		}
+	}
+}
+
+// A hand-built dead chain: gates feeding nothing must vanish, including
+// transitively.
+func TestDeadChainElimination(t *testing.T) {
+	bld := program.NewBuilder(2, 64)
+	in, _ := bld.WriteVector(2)
+	live := bld.Gate(gates.AND, in[0], in[1])
+	bld.Read(live)
+	d1 := bld.Gate(gates.NAND, in[0], in[1]) // dead
+	d2 := bld.Gate(gates.NOT, d1, program.NoBit)
+	_ = bld.Gate(gates.XOR, d2, d1) // dead chain head
+	tr := bld.Trace()
+
+	opted, st := assertEquivalent(t, tr, 64, opt.Options{EliminateDead: true}, 7)
+	if gateCount(opted) != 1 {
+		t.Errorf("gates left = %d, want 1 (only the read AND)", gateCount(opted))
+	}
+	if st.RemovedGates != 3 {
+		t.Errorf("removed = %d, want 3", st.RemovedGates)
+	}
+	if st.Passes < 2 {
+		t.Errorf("chain removal needs ≥2 passes, got %d", st.Passes)
+	}
+}
+
+// Copy propagation must respect masks: a COPY executed in half the lanes
+// cannot serve a full-lane reader.
+func TestCopyPropagationMaskSafety(t *testing.T) {
+	bld := program.NewBuilder(4, 64)
+	src, _ := bld.WriteVector(1)
+	dst := bld.AllocN(1)
+	bld.Write(dst[0]) // give dst defined values in all lanes
+	bld.SetMask(program.RangeMask(4, 0, 2))
+	bld.GateInto(gates.COPY, src[0], program.NoBit, dst[0])
+	bld.SetFullMask()
+	res := bld.Gate(gates.COPY, dst[0], program.NoBit)
+	bld.Read(res)
+	tr := bld.Trace()
+
+	opted, _ := assertEquivalent(t, tr, 64, opt.All(), 9)
+	// No full-lane reader may have been redirected to src: the copy only
+	// executed in lanes 0–1, so src is wrong for lanes 2–3. (Redirecting
+	// the reader from the intermediate full-lane COPY to dst is legal and
+	// expected.)
+	for _, op := range opted.Ops {
+		reads := op.Kind == program.OpRead || op.Kind == program.OpGate
+		if reads && opted.Masks[op.Mask].Full() && op.In0 == src[0] {
+			t.Errorf("full-lane reader redirected to partial-mask copy source: %v", op)
+		}
+	}
+	// The partial-mask COPY itself must survive: its effect is observed.
+	kept := false
+	for _, op := range opted.Ops {
+		if op.Kind == program.OpGate && op.Out == dst[0] {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Error("partial-mask copy eliminated despite being observed")
+	}
+}
+
+// Copy propagation must invalidate aliases when the source is overwritten.
+func TestCopyPropagationVersioning(t *testing.T) {
+	bld := program.NewBuilder(1, 64)
+	a, _ := bld.WriteVector(1)
+	c := bld.Copy(a[0])
+	// Overwrite the source, then read the copy: must NOT see the new a.
+	bld.Write(a[0])
+	bld.Read(c)
+	tr := bld.Trace()
+	opted, _ := assertEquivalent(t, tr, 64, opt.All(), 11)
+	// The read must still target c (the copy is live and kept).
+	last := opted.Ops[len(opted.Ops)-1]
+	if last.Kind != program.OpRead || last.In0 != c {
+		t.Errorf("read rewritten unsafely: %v", last)
+	}
+}
+
+// Partial-mask writes must not kill liveness of earlier full values.
+func TestPartialWriteKeepsOldValueLive(t *testing.T) {
+	bld := program.NewBuilder(4, 64)
+	v, _ := bld.WriteVector(1)
+	full := bld.Gate(gates.COPY, v[0], program.NoBit) // full-lane producer
+	bld.SetMask(program.RangeMask(4, 0, 1))
+	bld.GateInto(gates.NOT, v[0], program.NoBit, full) // partial overwrite
+	bld.SetFullMask()
+	bld.Read(full) // lanes 1..3 still need the original COPY
+	tr := bld.Trace()
+	opted, st := assertEquivalent(t, tr, 64, opt.Options{EliminateDead: true}, 13)
+	if st.RemovedGates != 0 {
+		t.Errorf("removed %d gates; the full-lane producer is still live in unmasked lanes", st.RemovedGates)
+	}
+	if gateCount(opted) != 2 {
+		t.Errorf("gates = %d, want 2", gateCount(opted))
+	}
+}
+
+// Random trace fuzz: build random (valid) gate soups, optimize, compare.
+func TestOptimizerRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		bld := program.NewBuilder(4, 256)
+		pool, _ := bld.WriteVector(4)
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				pool = append(pool, bld.Copy(pool[rng.Intn(len(pool))]))
+			case 1:
+				pool = append(pool, bld.Not(pool[rng.Intn(len(pool))]))
+			case 2, 3:
+				k := []gates.Kind{gates.AND, gates.NAND, gates.OR, gates.XOR}[rng.Intn(4)]
+				pool = append(pool, bld.Gate(k, pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]))
+			case 4:
+				if rng.Intn(2) == 0 {
+					bld.SetMask(program.RangeMask(4, 0, 1+rng.Intn(4)))
+				} else {
+					bld.SetFullMask()
+				}
+			}
+		}
+		bld.SetFullMask()
+		for i := 0; i < 4; i++ {
+			bld.Read(pool[rng.Intn(len(pool))])
+		}
+		assertEquivalent(t, bld.Trace(), 256, opt.All(), int64(trial))
+	}
+}

@@ -1,0 +1,176 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(130)
+	if m.Len() != 130 || m.Count() != 0 {
+		t.Fatalf("new mask: len %d count %d", m.Len(), m.Count())
+	}
+	m.Set(0)
+	m.Set(64)
+	m.Set(129)
+	m.Set(129) // idempotent
+	if m.Count() != 3 {
+		t.Fatalf("count = %d, want 3", m.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !m.Get(i) {
+			t.Errorf("lane %d should be set", i)
+		}
+	}
+	if m.Get(1) || m.Get(128) {
+		t.Error("unset lanes reported set")
+	}
+	m.Clear(64)
+	m.Clear(64) // idempotent
+	if m.Count() != 2 || m.Get(64) {
+		t.Error("clear failed")
+	}
+}
+
+func TestMaskFull(t *testing.T) {
+	m := FullMask(100)
+	if !m.Full() || m.Count() != 100 {
+		t.Fatalf("FullMask: full=%v count=%d", m.Full(), m.Count())
+	}
+	m.Clear(50)
+	if m.Full() {
+		t.Error("mask with cleared lane reported full")
+	}
+}
+
+func TestRangeMask(t *testing.T) {
+	m := RangeMask(64, 16, 48)
+	if m.Count() != 32 {
+		t.Fatalf("count = %d, want 32", m.Count())
+	}
+	for i := 0; i < 64; i++ {
+		want := i >= 16 && i < 48
+		if m.Get(i) != want {
+			t.Errorf("lane %d = %v, want %v", i, m.Get(i), want)
+		}
+	}
+}
+
+func TestStrideMask(t *testing.T) {
+	m := StrideMask(16, 4, 1)
+	want := []int{1, 5, 9, 13}
+	got := m.Lanes()
+	if len(got) != len(want) {
+		t.Fatalf("lanes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lanes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaskForEachOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := NewMask(512)
+	set := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		l := r.Intn(512)
+		m.Set(l)
+		set[l] = true
+	}
+	prev := -1
+	n := 0
+	m.ForEach(func(l int) {
+		if l <= prev {
+			t.Fatalf("ForEach out of order: %d after %d", l, prev)
+		}
+		if !set[l] {
+			t.Fatalf("ForEach visited unset lane %d", l)
+		}
+		prev = l
+		n++
+	})
+	if n != len(set) {
+		t.Fatalf("visited %d lanes, want %d", n, len(set))
+	}
+}
+
+func TestMaskCloneEqual(t *testing.T) {
+	m := RangeMask(200, 3, 77)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(100)
+	if m.Equal(c) {
+		t.Fatal("mutating clone affected equality unexpectedly")
+	}
+	if m.Get(100) {
+		t.Fatal("clone shares storage with original")
+	}
+	if m.Equal(RangeMask(201, 3, 77)) {
+		t.Fatal("masks of different sizes reported equal")
+	}
+}
+
+func TestMaskKeyDistinguishes(t *testing.T) {
+	a := RangeMask(64, 0, 32)
+	b := RangeMask(64, 32, 64)
+	if a.key() == b.key() {
+		t.Fatal("distinct masks share key")
+	}
+	if a.key() != RangeMask(64, 0, 32).key() {
+		t.Fatal("equal masks have different keys")
+	}
+}
+
+func TestMaskOutOfRangePanics(t *testing.T) {
+	m := NewMask(8)
+	for _, fn := range []func(){
+		func() { m.Set(8) },
+		func() { m.Get(-1) },
+		func() { m.Clear(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range lane")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Count always equals the number of lanes ForEach visits,
+// whatever sequence of sets and clears was applied.
+func TestMaskCountProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMask(256)
+		for _, o := range ops {
+			lane := int(o % 256)
+			if o&0x8000 != 0 {
+				m.Clear(lane)
+			} else {
+				m.Set(lane)
+			}
+		}
+		n := 0
+		m.ForEach(func(int) { n++ })
+		return n == m.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if s := FullMask(8).String(); s != "all(8)" {
+		t.Errorf("full mask string = %q", s)
+	}
+	if s := RangeMask(8, 0, 3).String(); s != "3/8 lanes" {
+		t.Errorf("partial mask string = %q", s)
+	}
+}

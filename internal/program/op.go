@@ -1,0 +1,132 @@
+package program
+
+import (
+	"fmt"
+
+	"pimendure/internal/gates"
+)
+
+// Bit is a logical bit address within a lane. The software stack operates on
+// logical bits; mapping strategies translate them to physical bit addresses
+// (rows, in a column-parallel architecture) at simulation time.
+type Bit int32
+
+// NoBit marks an unused operand slot.
+const NoBit Bit = -1
+
+// MaskID indexes a Trace's mask table.
+type MaskID int32
+
+// OpKind distinguishes the four primitive operations a PIM array performs.
+type OpKind uint8
+
+const (
+	// OpGate executes a logic gate: reads In0 (and In1 for two-input
+	// gates) and writes Out, in every lane of the mask simultaneously.
+	OpGate OpKind = iota
+	// OpWrite is a standard memory write of external data into bit Out of
+	// every masked lane (operand loading).
+	OpWrite
+	// OpRead is a standard memory read of bit In0 from every masked lane
+	// (result readout).
+	OpRead
+	// OpMove transfers bit In0 of lane (l + LaneShift) into bit Out of
+	// lane l, for every masked lane l. It models the read+write pair used
+	// to combine partial results across lanes (§4: "a single data
+	// transfer takes 2 sequential operations").
+	OpMove
+)
+
+// String returns the op kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpGate:
+		return "gate"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpMove:
+		return "move"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one primitive PIM array operation. All lanes in Mask execute it
+// simultaneously; ops themselves are strictly sequential (§2.2: the
+// periphery hardware is shared by all cells of a lane, so gates in the same
+// lane cannot overlap even when logically independent).
+type Op struct {
+	Kind      OpKind
+	Gate      gates.Kind // valid when Kind == OpGate
+	Out       Bit        // written bit (OpGate, OpWrite, OpMove)
+	In0       Bit        // first read bit (OpGate, OpRead, OpMove)
+	In1       Bit        // second read bit (two-input OpGate only)
+	Mask      MaskID     // participating lanes (destination lanes for OpMove)
+	LaneShift int32      // OpMove: source lane = destination lane + LaneShift
+	Data      int32      // OpWrite: input slot id; OpRead: output slot id
+}
+
+// Steps returns the number of sequential time steps the op occupies.
+// presetOutputs models CRAM-style architectures that must write the output
+// cell to a known state before a gate fires (§4).
+func (o Op) Steps(presetOutputs bool) int {
+	switch o.Kind {
+	case OpGate:
+		if presetOutputs {
+			return 2
+		}
+		return 1
+	case OpMove:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// WritesPerLane returns how many times the op writes its output cell in
+// each active lane.
+func (o Op) WritesPerLane(presetOutputs bool) int {
+	switch o.Kind {
+	case OpGate:
+		if presetOutputs {
+			return 2 // preset + conditional switch
+		}
+		return 1
+	case OpWrite, OpMove:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ReadsPerLane returns how many cell reads the op performs in each active
+// lane (for OpMove the read lands in the shifted source lane).
+func (o Op) ReadsPerLane() int {
+	switch o.Kind {
+	case OpGate:
+		return o.Gate.Arity()
+	case OpRead, OpMove:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the op for debugging.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpGate:
+		if o.Gate.Arity() == 1 {
+			return fmt.Sprintf("%v b%d -> b%d [m%d]", o.Gate, o.In0, o.Out, o.Mask)
+		}
+		return fmt.Sprintf("%v b%d,b%d -> b%d [m%d]", o.Gate, o.In0, o.In1, o.Out, o.Mask)
+	case OpWrite:
+		return fmt.Sprintf("write d%d -> b%d [m%d]", o.Data, o.Out, o.Mask)
+	case OpRead:
+		return fmt.Sprintf("read b%d -> d%d [m%d]", o.In0, o.Data, o.Mask)
+	case OpMove:
+		return fmt.Sprintf("move b%d(l%+d) -> b%d [m%d]", o.In0, o.LaneShift, o.Out, o.Mask)
+	}
+	return "op(?)"
+}

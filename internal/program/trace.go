@@ -1,0 +1,208 @@
+package program
+
+import (
+	"fmt"
+)
+
+// Trace is a compiled PIM program: a strictly sequential list of array
+// operations, the lane masks they use, and the logical bit footprint per
+// lane. A trace is structural — operand values are supplied at execution
+// time through data slots — so the same trace is re-executed for every
+// iteration of a benchmark.
+type Trace struct {
+	// Lanes is the number of lanes the program spans (the array dimension
+	// perpendicular to the bit addresses).
+	Lanes int
+	// LaneBits is the number of logical bit addresses used per lane (the
+	// program's footprint in the other array dimension).
+	LaneBits int
+	// Masks is the deduplicated lane-mask table referenced by ops.
+	Masks []*Mask
+	// Ops is the sequential operation list.
+	Ops []Op
+	// WriteSlots and ReadSlots are the number of external data slots
+	// consumed by OpWrite and produced by OpRead ops.
+	WriteSlots int
+	ReadSlots  int
+
+	maskIndex map[string]MaskID
+}
+
+// NewTrace returns an empty trace over the given number of lanes.
+func NewTrace(lanes int) *Trace {
+	if lanes <= 0 {
+		panic("program: trace must have at least one lane")
+	}
+	return &Trace{Lanes: lanes, maskIndex: make(map[string]MaskID)}
+}
+
+// AddMask interns a mask and returns its ID. Masks with identical
+// membership share one ID, which the wear engine exploits: ops sharing a
+// mask form a "phase" with a rank-1 write-count contribution.
+func (t *Trace) AddMask(m *Mask) MaskID {
+	if m.Len() != t.Lanes {
+		panic(fmt.Sprintf("program: mask over %d lanes added to %d-lane trace", m.Len(), t.Lanes))
+	}
+	if t.maskIndex == nil {
+		t.maskIndex = make(map[string]MaskID)
+		for i, em := range t.Masks {
+			t.maskIndex[em.key()] = MaskID(i)
+		}
+	}
+	k := m.key()
+	if id, ok := t.maskIndex[k]; ok {
+		return id
+	}
+	id := MaskID(len(t.Masks))
+	t.Masks = append(t.Masks, m.Clone())
+	t.maskIndex[k] = id
+	return id
+}
+
+// Mask returns the mask for an ID.
+func (t *Trace) Mask(id MaskID) *Mask {
+	return t.Masks[id]
+}
+
+// Append adds an op, growing LaneBits to cover its addresses.
+func (t *Trace) Append(op Op) {
+	for _, b := range [...]Bit{op.Out, op.In0, op.In1} {
+		if b != NoBit && int(b) >= t.LaneBits {
+			t.LaneBits = int(b) + 1
+		}
+	}
+	t.Ops = append(t.Ops, op)
+}
+
+// Steps returns total sequential latency in time steps. With a fixed
+// per-step device time (3 ns in the paper) this is the application latency
+// of Eq. 4.
+func (t *Trace) Steps(presetOutputs bool) int {
+	s := 0
+	for _, op := range t.Ops {
+		s += op.Steps(presetOutputs)
+	}
+	return s
+}
+
+// CellWrites returns the total number of memory-cell write operations one
+// execution of the trace performs, summed over all lanes.
+func (t *Trace) CellWrites(presetOutputs bool) int64 {
+	var n int64
+	for _, op := range t.Ops {
+		n += int64(op.WritesPerLane(presetOutputs)) * int64(t.Masks[op.Mask].Count())
+	}
+	return n
+}
+
+// CellReads returns the total number of memory-cell read operations one
+// execution of the trace performs, summed over all lanes.
+func (t *Trace) CellReads() int64 {
+	var n int64
+	for _, op := range t.Ops {
+		n += int64(op.ReadsPerLane()) * int64(t.Masks[op.Mask].Count())
+	}
+	return n
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Ops        int
+	Gates      int
+	Writes     int
+	Reads      int
+	Moves      int
+	Steps      int
+	CellWrites int64
+	CellReads  int64
+	LaneBits   int
+	// Utilization is the time-weighted fraction of lanes active
+	// (Table 3's "Avg Lane Utilization").
+	Utilization float64
+}
+
+// ComputeStats derives summary statistics for one execution of the trace.
+func (t *Trace) ComputeStats(presetOutputs bool) Stats {
+	st := Stats{Ops: len(t.Ops), LaneBits: t.LaneBits}
+	var weighted float64
+	for _, op := range t.Ops {
+		steps := op.Steps(presetOutputs)
+		st.Steps += steps
+		weighted += float64(steps) * float64(t.Masks[op.Mask].Count())
+		switch op.Kind {
+		case OpGate:
+			st.Gates++
+		case OpWrite:
+			st.Writes++
+		case OpRead:
+			st.Reads++
+		case OpMove:
+			st.Moves++
+		}
+	}
+	st.CellWrites = t.CellWrites(presetOutputs)
+	st.CellReads = t.CellReads()
+	if st.Steps > 0 && t.Lanes > 0 {
+		st.Utilization = weighted / (float64(st.Steps) * float64(t.Lanes))
+	}
+	return st
+}
+
+// Validate checks structural invariants: operand addresses in range, masks
+// resolvable, gate arity consistent, move shifts that stay inside the
+// array. It returns the first violation found.
+func (t *Trace) Validate() error {
+	for i, op := range t.Ops {
+		if op.Mask < 0 || int(op.Mask) >= len(t.Masks) {
+			return fmt.Errorf("op %d (%v): mask id %d out of range", i, op, op.Mask)
+		}
+		mask := t.Masks[op.Mask]
+		inRange := func(b Bit) bool { return b >= 0 && int(b) < t.LaneBits }
+		switch op.Kind {
+		case OpGate:
+			if !op.Gate.Valid() {
+				return fmt.Errorf("op %d: invalid gate kind %d", i, op.Gate)
+			}
+			if !inRange(op.Out) || !inRange(op.In0) {
+				return fmt.Errorf("op %d (%v): operand out of range", i, op)
+			}
+			if op.Gate.Arity() == 2 && !inRange(op.In1) {
+				return fmt.Errorf("op %d (%v): missing second input", i, op)
+			}
+			if op.Gate.Arity() == 1 && op.In1 != NoBit {
+				return fmt.Errorf("op %d (%v): unary gate has second input", i, op)
+			}
+		case OpWrite:
+			if !inRange(op.Out) {
+				return fmt.Errorf("op %d (%v): write address out of range", i, op)
+			}
+			if op.Data < 0 || int(op.Data) >= t.WriteSlots {
+				return fmt.Errorf("op %d (%v): write slot %d out of range", i, op, op.Data)
+			}
+		case OpRead:
+			if !inRange(op.In0) {
+				return fmt.Errorf("op %d (%v): read address out of range", i, op)
+			}
+			if op.Data < 0 || int(op.Data) >= t.ReadSlots {
+				return fmt.Errorf("op %d (%v): read slot %d out of range", i, op, op.Data)
+			}
+		case OpMove:
+			if !inRange(op.Out) || !inRange(op.In0) {
+				return fmt.Errorf("op %d (%v): move address out of range", i, op)
+			}
+			bad := false
+			mask.ForEach(func(l int) {
+				src := l + int(op.LaneShift)
+				if src < 0 || src >= t.Lanes {
+					bad = true
+				}
+			})
+			if bad {
+				return fmt.Errorf("op %d (%v): source lane outside array", i, op)
+			}
+		default:
+			return fmt.Errorf("op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}

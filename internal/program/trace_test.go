@@ -1,0 +1,183 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"pimendure/internal/gates"
+)
+
+func TestOpSteps(t *testing.T) {
+	gate := Op{Kind: OpGate, Gate: gates.NAND}
+	if gate.Steps(false) != 1 || gate.Steps(true) != 2 {
+		t.Error("gate steps wrong")
+	}
+	mv := Op{Kind: OpMove}
+	if mv.Steps(false) != 2 || mv.Steps(true) != 2 {
+		t.Error("move steps wrong")
+	}
+	for _, k := range []OpKind{OpWrite, OpRead} {
+		op := Op{Kind: k}
+		if op.Steps(false) != 1 || op.Steps(true) != 1 {
+			t.Errorf("%v steps wrong", k)
+		}
+	}
+}
+
+func TestOpCellCosts(t *testing.T) {
+	cases := []struct {
+		op                       Op
+		writes, writesPre, reads int
+	}{
+		{Op{Kind: OpGate, Gate: gates.NAND}, 1, 2, 2},
+		{Op{Kind: OpGate, Gate: gates.NOT}, 1, 2, 1},
+		{Op{Kind: OpWrite}, 1, 1, 0},
+		{Op{Kind: OpRead}, 0, 0, 1},
+		{Op{Kind: OpMove}, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.op.WritesPerLane(false); got != c.writes {
+			t.Errorf("%v writes = %d, want %d", c.op.Kind, got, c.writes)
+		}
+		if got := c.op.WritesPerLane(true); got != c.writesPre {
+			t.Errorf("%v writes(preset) = %d, want %d", c.op.Kind, got, c.writesPre)
+		}
+		if got := c.op.ReadsPerLane(); got != c.reads {
+			t.Errorf("%v reads = %d, want %d", c.op.Kind, got, c.reads)
+		}
+	}
+}
+
+func TestTraceMaskDedup(t *testing.T) {
+	tr := NewTrace(64)
+	a := tr.AddMask(RangeMask(64, 0, 32))
+	b := tr.AddMask(RangeMask(64, 0, 32))
+	c := tr.AddMask(RangeMask(64, 32, 64))
+	if a != b {
+		t.Error("identical masks got different ids")
+	}
+	if a == c {
+		t.Error("distinct masks share an id")
+	}
+	if len(tr.Masks) != 2 {
+		t.Errorf("mask table has %d entries, want 2", len(tr.Masks))
+	}
+}
+
+func TestTraceMaskSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic adding wrong-size mask")
+		}
+	}()
+	NewTrace(8).AddMask(FullMask(16))
+}
+
+// A tiny hand-built trace: write two bits, NAND them, read result, move it.
+func buildTinyTrace(t *testing.T) *Trace {
+	t.Helper()
+	b := NewBuilder(4, 16)
+	x := b.Alloc()
+	y := b.Alloc()
+	b.Write(x)
+	b.Write(y)
+	out := b.Gate(gates.NAND, x, y)
+	b.SetMask(RangeMask(4, 0, 2))
+	b.Move(out, x, 2) // lanes 0,1 receive from lanes 2,3
+	b.Read(x)
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tiny trace invalid: %v", err)
+	}
+	return tr
+}
+
+func TestTraceCounts(t *testing.T) {
+	tr := buildTinyTrace(t)
+	// writes: 2 OpWrite×4 lanes + 1 gate×4 + 1 move×2 = 14 (no preset)
+	if got := tr.CellWrites(false); got != 14 {
+		t.Errorf("CellWrites(false) = %d, want 14", got)
+	}
+	// preset adds 1 more write per gate per lane: +4
+	if got := tr.CellWrites(true); got != 18 {
+		t.Errorf("CellWrites(true) = %d, want 18", got)
+	}
+	// reads: gate 2×4 + move 1×2 + read 1×2 = 12
+	if got := tr.CellReads(); got != 12 {
+		t.Errorf("CellReads = %d, want 12", got)
+	}
+	// steps: 2 writes + 1 gate + 2 (move) + 1 read = 6
+	if got := tr.Steps(false); got != 6 {
+		t.Errorf("Steps(false) = %d, want 6", got)
+	}
+	if got := tr.Steps(true); got != 7 {
+		t.Errorf("Steps(true) = %d, want 7", got)
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := buildTinyTrace(t)
+	st := tr.ComputeStats(false)
+	if st.Gates != 1 || st.Writes != 2 || st.Reads != 1 || st.Moves != 1 {
+		t.Errorf("stats op counts wrong: %+v", st)
+	}
+	if st.Steps != 6 || st.CellWrites != 14 || st.CellReads != 12 {
+		t.Errorf("stats totals wrong: %+v", st)
+	}
+	// utilization: (3 steps full ×4 lanes + 3 steps ×2 lanes) / (6×4)
+	want := (3.0*4 + 3.0*2) / (6.0 * 4)
+	if diff := st.Utilization - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("utilization = %v, want %v", st.Utilization, want)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Trace { return buildTinyTrace(t) }
+
+	tr := mk()
+	tr.Ops[2].Gate = gates.Kind(99)
+	if err := tr.Validate(); err == nil {
+		t.Error("invalid gate kind not caught")
+	}
+
+	tr = mk()
+	tr.Ops[2].In1 = Bit(tr.LaneBits + 5)
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-range operand not caught")
+	}
+
+	tr = mk()
+	tr.Ops[3].LaneShift = 100
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-array move source not caught")
+	}
+
+	tr = mk()
+	tr.Ops[0].Data = 99
+	if err := tr.Validate(); err == nil {
+		t.Error("bad write slot not caught")
+	}
+
+	tr = mk()
+	tr.Ops[2].Mask = 57
+	if err := tr.Validate(); err == nil {
+		t.Error("bad mask id not caught")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tr := buildTinyTrace(t)
+	for _, op := range tr.Ops {
+		if s := op.String(); s == "" || strings.Contains(s, "?") {
+			t.Errorf("op %v has bad string %q", op.Kind, s)
+		}
+	}
+	kinds := []OpKind{OpGate, OpWrite, OpRead, OpMove}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if seen[k.String()] {
+			t.Errorf("duplicate kind name %q", k.String())
+		}
+		seen[k.String()] = true
+	}
+}

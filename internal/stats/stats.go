@@ -1,0 +1,172 @@
+// Package stats provides the distribution summaries and grid operations
+// the evaluation uses: max/mean, coefficient of variation and Gini index
+// of write-count imbalance, and mean-pooling downsampling for heatmaps.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Max returns the largest count.
+func Max(counts []uint64) uint64 {
+	var m uint64
+	for _, c := range counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean.
+func Mean(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range counts {
+		s += float64(c)
+	}
+	return s / float64(len(counts))
+}
+
+// MaxOverMean is the imbalance factor that directly determines lifetime
+// loss: a perfectly balanced distribution has factor 1.
+func MaxOverMean(counts []uint64) float64 {
+	m := Mean(counts)
+	if m == 0 {
+		return math.NaN()
+	}
+	return float64(Max(counts)) / m
+}
+
+// CoV returns the coefficient of variation (σ/µ).
+func CoV(counts []uint64) float64 {
+	µ := Mean(counts)
+	if µ == 0 || len(counts) == 0 {
+		return math.NaN()
+	}
+	var ss float64
+	for _, c := range counts {
+		d := float64(c) - µ
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(counts))) / µ
+}
+
+// Gini returns the Gini index of the counts (0 = perfectly even, →1 =
+// concentrated on few cells).
+func Gini(counts []uint64) float64 {
+	n := len(counts)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	for i, c := range counts {
+		sorted[i] = float64(c)
+	}
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, v := range sorted {
+		cum += v * float64(i+1)
+		total += v
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return (2*cum)/(float64(n)*total) - (float64(n)+1)/float64(n)
+}
+
+// Grid is a dense row-major float matrix.
+type Grid struct {
+	Rows, Cols int
+	Data       []float64 // [r*Cols+c]
+}
+
+// NewGrid allocates a zero grid.
+func NewGrid(rows, cols int) *Grid {
+	return &Grid{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (g *Grid) At(r, c int) float64 { return g.Data[r*g.Cols+c] }
+
+// Set assigns element (r, c).
+func (g *Grid) Set(r, c int, v float64) { g.Data[r*g.Cols+c] = v }
+
+// Max returns the largest element.
+func (g *Grid) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range g.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// FromCounts converts a count matrix into a grid.
+func FromCounts(counts []uint64, rows, cols int) (*Grid, error) {
+	if rows*cols != len(counts) {
+		return nil, fmt.Errorf("stats: %d counts do not fill %dx%d", len(counts), rows, cols)
+	}
+	g := NewGrid(rows, cols)
+	for i, c := range counts {
+		g.Data[i] = float64(c)
+	}
+	return g, nil
+}
+
+// Normalized returns the grid scaled so its maximum is 1 (the paper's
+// heatmaps are normalized to maximum utilization = 1). A zero grid is
+// returned unchanged.
+func (g *Grid) Normalized() *Grid {
+	out := NewGrid(g.Rows, g.Cols)
+	m := g.Max()
+	if m <= 0 {
+		copy(out.Data, g.Data)
+		return out
+	}
+	for i, v := range g.Data {
+		out.Data[i] = v / m
+	}
+	return out
+}
+
+// Downsample mean-pools the grid to outRows×outCols. Output dimensions
+// must not exceed the input's; block boundaries are distributed evenly
+// when sizes do not divide.
+func (g *Grid) Downsample(outRows, outCols int) (*Grid, error) {
+	if outRows <= 0 || outCols <= 0 || outRows > g.Rows || outCols > g.Cols {
+		return nil, fmt.Errorf("stats: cannot downsample %dx%d to %dx%d", g.Rows, g.Cols, outRows, outCols)
+	}
+	out := NewGrid(outRows, outCols)
+	for or := 0; or < outRows; or++ {
+		r0, r1 := or*g.Rows/outRows, (or+1)*g.Rows/outRows
+		for oc := 0; oc < outCols; oc++ {
+			c0, c1 := oc*g.Cols/outCols, (oc+1)*g.Cols/outCols
+			var sum float64
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					sum += g.At(r, c)
+				}
+			}
+			out.Set(or, oc, sum/float64((r1-r0)*(c1-c0)))
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns the grid with axes swapped (for row-parallel
+// presentation).
+func (g *Grid) Transpose() *Grid {
+	out := NewGrid(g.Cols, g.Rows)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			out.Set(c, r, g.At(r, c))
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package synth
+
+import "pimendure/internal/program"
+
+// RippleCarryAdd emits a ripple-carry addition of two equal-width operands
+// and returns the (width+1)-bit sum, least significant bit first. The paper
+// notes (§2.2) that while ripple-carry is slow in parallel CMOS, it is
+// optimal for PIM because it uses the fewest gates and all gates in a lane
+// are sequential anyway: b−1 full adders plus 1 half adder.
+//
+// Input bits remain owned by the caller; the returned sum bits transfer to
+// the caller.
+func RippleCarryAdd(bld *program.Builder, basis Basis, x, y []program.Bit) []program.Bit {
+	if len(x) != len(y) {
+		panic("synth: RippleCarryAdd operand width mismatch")
+	}
+	if len(x) == 0 {
+		panic("synth: RippleCarryAdd on empty operands")
+	}
+	b := len(x)
+	sum := make([]program.Bit, b+1)
+	var carry program.Bit
+	sum[0], carry = basis.HalfAdder(bld, x[0], y[0])
+	for i := 1; i < b; i++ {
+		var c program.Bit
+		sum[i], c = basis.FullAdder(bld, x[i], y[i], carry)
+		bld.Free(carry)
+		carry = c
+	}
+	sum[b] = carry
+	return sum
+}
+
+// AddUneven adds operands of different widths by treating the shorter one
+// as zero-extended: the low bits use full/half adders, the high bits
+// propagate the carry with half adders. Returns max(len(x),len(y))+1 bits.
+// This is what the dot-product reduction uses as partial sums grow.
+func AddUneven(bld *program.Builder, basis Basis, x, y []program.Bit) []program.Bit {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	if len(y) == 0 {
+		panic("synth: AddUneven on empty operand")
+	}
+	w := len(x)
+	sum := make([]program.Bit, w+1)
+	var carry program.Bit
+	sum[0], carry = basis.HalfAdder(bld, x[0], y[0])
+	for i := 1; i < w; i++ {
+		var c program.Bit
+		if i < len(y) {
+			sum[i], c = basis.FullAdder(bld, x[i], y[i], carry)
+		} else {
+			sum[i], c = basis.HalfAdder(bld, x[i], carry)
+		}
+		bld.Free(carry)
+		carry = c
+	}
+	sum[w] = carry
+	return sum
+}
+
+// RippleCarryGates returns the gate count of a b-bit ripple-carry addition
+// in the given basis without building it: (b−1)·FA + 1·HA. For Mixed2 this
+// is the paper's 5b−3.
+func RippleCarryGates(basis Basis, b int) int {
+	return (b-1)*fullAdderGates(basis) + halfAdderGates(basis)
+}
+
+func fullAdderGates(basis Basis) int {
+	switch basis.Name() {
+	case "nand":
+		return 9
+	case "mixed2":
+		return 5
+	}
+	return countGates(func(bld *program.Builder) {
+		in := bld.AllocN(3)
+		basis.FullAdder(bld, in[0], in[1], in[2])
+	})
+}
+
+func halfAdderGates(basis Basis) int {
+	switch basis.Name() {
+	case "nand":
+		return 5
+	case "mixed2":
+		return 2
+	}
+	return countGates(func(bld *program.Builder) {
+		in := bld.AllocN(2)
+		basis.HalfAdder(bld, in[0], in[1])
+	})
+}
+
+// countGates builds a scratch program and counts its gate ops.
+func countGates(fn func(*program.Builder)) int {
+	bld := program.NewBuilder(1, 1<<16)
+	fn(bld)
+	n := 0
+	for _, op := range bld.Trace().Ops {
+		if op.Kind == program.OpGate {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+// Package synth synthesizes arithmetic circuits — adders, Dadda
+// multipliers, comparators, COPY-shuffles — into sequential PIM gate
+// programs (§2.2 of the paper: complex operations decompose into a series
+// of logic gates that execute one at a time within a lane).
+//
+// Two gate bases are provided, matching the two counting models the paper
+// uses:
+//
+//   - NAND: the Fig. 2 decomposition — a full adder is 9 two-input NANDs, a
+//     half adder is 5 gates (one of them unary), an AND is native. A 32-bit
+//     Dadda multiply costs 10b²−13b = 9 824 gates and 19 616 cell reads,
+//     the §3.1 numbers.
+//   - Mixed2: the minimum-gate two-input model used for Table 2 — a full
+//     adder is 5 gates (XOR/AND/XOR/AND/OR), a half adder is 2, so a
+//     multiply costs 6b²−8b gates and a ripple-carry add costs 5b−3.
+package synth
+
+import (
+	"pimendure/internal/gates"
+	"pimendure/internal/program"
+)
+
+// Basis is a gate-level implementation style for the arithmetic building
+// blocks. Implementations must free every intermediate bit they allocate;
+// input bits remain owned by the caller, output bits transfer to the
+// caller.
+type Basis interface {
+	// Name identifies the basis in reports.
+	Name() string
+	// FullAdder emits sum and carry of a+b+cin.
+	FullAdder(bld *program.Builder, a, b, cin program.Bit) (sum, cout program.Bit)
+	// HalfAdder emits sum and carry of a+b.
+	HalfAdder(bld *program.Builder, a, b program.Bit) (sum, cout program.Bit)
+	// And emits a AND b.
+	And(bld *program.Builder, a, b program.Bit) program.Bit
+	// Or emits a OR b.
+	Or(bld *program.Builder, a, b program.Bit) program.Bit
+	// Xor emits a XOR b.
+	Xor(bld *program.Builder, a, b program.Bit) program.Bit
+}
+
+// NAND is the NAND-oriented basis of Fig. 2 (native set: NAND, AND, NOT,
+// COPY), reproducing the paper's §3.1 endurance arithmetic.
+var NAND Basis = nandBasis{}
+
+// Mixed2 is the minimum two-input-gate basis used for the Table 2 overhead
+// model (native set: all one- and two-input gates).
+var Mixed2 Basis = mixed2Basis{}
+
+// NOR is the NOR-oriented basis, matching MAGIC-style architectures
+// [20, 22] whose native in-memory gate is NOR: a full adder is the
+// classical 9-NOR network, a half adder 6 gates (one unary — one more
+// than NAND, see HalfAdder), and AND is native. A b-bit multiply costs
+// 10b²−12b gates, one extra gate per half adder over the NAND basis's
+// 10b²−13b, leaving the §3.1 endurance arithmetic essentially unchanged.
+var NOR Basis = norBasis{}
+
+// Bases lists all provided bases.
+func Bases() []Basis { return []Basis{NAND, Mixed2, NOR} }
+
+type nandBasis struct{}
+
+func (nandBasis) Name() string { return "nand" }
+
+// FullAdder is the classical 9-NAND full adder of the paper's Fig. 2.
+func (nandBasis) FullAdder(bld *program.Builder, a, b, cin program.Bit) (program.Bit, program.Bit) {
+	n1 := bld.Gate(gates.NAND, a, b)
+	n2 := bld.Gate(gates.NAND, a, n1)
+	n3 := bld.Gate(gates.NAND, b, n1)
+	s1 := bld.Gate(gates.NAND, n2, n3) // a XOR b
+	bld.Free(n2, n3)
+	n4 := bld.Gate(gates.NAND, s1, cin)
+	n5 := bld.Gate(gates.NAND, s1, n4)
+	bld.Free(s1)
+	n6 := bld.Gate(gates.NAND, cin, n4)
+	sum := bld.Gate(gates.NAND, n5, n6)
+	bld.Free(n5, n6)
+	cout := bld.Gate(gates.NAND, n1, n4)
+	bld.Free(n1, n4)
+	return sum, cout
+}
+
+// HalfAdder uses 5 gates, exactly one of them single-input (the carry is
+// NOT of a⊼b). This is the decomposition that makes the 32-bit multiply
+// cost come out to the paper's 9 824 writes and 19 616 reads.
+func (nandBasis) HalfAdder(bld *program.Builder, a, b program.Bit) (program.Bit, program.Bit) {
+	n1 := bld.Gate(gates.NAND, a, b)
+	n2 := bld.Gate(gates.NAND, a, n1)
+	n3 := bld.Gate(gates.NAND, b, n1)
+	sum := bld.Gate(gates.NAND, n2, n3) // a XOR b
+	bld.Free(n2, n3)
+	cout := bld.Gate(gates.NOT, n1, program.NoBit)
+	bld.Free(n1)
+	return sum, cout
+}
+
+func (nandBasis) And(bld *program.Builder, a, b program.Bit) program.Bit {
+	return bld.Gate(gates.AND, a, b)
+}
+
+func (nandBasis) Or(bld *program.Builder, a, b program.Bit) program.Bit {
+	na := bld.Gate(gates.NOT, a, program.NoBit)
+	nb := bld.Gate(gates.NOT, b, program.NoBit)
+	out := bld.Gate(gates.NAND, na, nb)
+	bld.Free(na, nb)
+	return out
+}
+
+func (nandBasis) Xor(bld *program.Builder, a, b program.Bit) program.Bit {
+	n1 := bld.Gate(gates.NAND, a, b)
+	n2 := bld.Gate(gates.NAND, a, n1)
+	n3 := bld.Gate(gates.NAND, b, n1)
+	out := bld.Gate(gates.NAND, n2, n3)
+	bld.Free(n1, n2, n3)
+	return out
+}
+
+type norBasis struct{}
+
+func (norBasis) Name() string { return "nor" }
+
+// FullAdder is the 9-NOR full adder, structurally mirroring Fig. 2's
+// 9-NAND network: the inner NOR tree NOR(NOR(a,t),NOR(b,t)) with
+// t = NOR(a,b) yields XNOR(a,b), and XNOR(XNOR(a,b),cin) is the same
+// parity as the sum; the carry falls out as NOR(t, NOR(xnor,cin)) =
+// (a∨b) ∧ (XNOR(a,b) ∨ cin) = majority(a,b,cin).
+func (norBasis) FullAdder(bld *program.Builder, a, b, cin program.Bit) (program.Bit, program.Bit) {
+	n1 := bld.Gate(gates.NOR, a, b)
+	n2 := bld.Gate(gates.NOR, a, n1)
+	n3 := bld.Gate(gates.NOR, b, n1)
+	s1 := bld.Gate(gates.NOR, n2, n3) // XNOR(a,b)
+	bld.Free(n2, n3)
+	n4 := bld.Gate(gates.NOR, s1, cin)
+	n5 := bld.Gate(gates.NOR, s1, n4)
+	bld.Free(s1)
+	n6 := bld.Gate(gates.NOR, cin, n4)
+	sum := bld.Gate(gates.NOR, n5, n6) // XNOR(XNOR(a,b),cin) = a⊕b⊕cin
+	bld.Free(n5, n6)
+	cout := bld.Gate(gates.NOR, n1, n4)
+	bld.Free(n1, n4)
+	return sum, cout
+}
+
+// HalfAdder costs 6 gates in the NOR basis (one unary) — one more than
+// the NAND basis, because the NOR tree produces XNOR and the sum needs
+// one inversion, after which carry = NOR(sum, NOR(a,b)) = a∧b.
+func (norBasis) HalfAdder(bld *program.Builder, a, b program.Bit) (program.Bit, program.Bit) {
+	n1 := bld.Gate(gates.NOR, a, b)
+	n2 := bld.Gate(gates.NOR, a, n1)
+	n3 := bld.Gate(gates.NOR, b, n1)
+	xnor := bld.Gate(gates.NOR, n2, n3)
+	bld.Free(n2, n3)
+	sum := bld.Gate(gates.NOT, xnor, program.NoBit)
+	bld.Free(xnor)
+	carry := bld.Gate(gates.NOR, sum, n1)
+	bld.Free(n1)
+	return sum, carry
+}
+
+func (norBasis) And(bld *program.Builder, a, b program.Bit) program.Bit {
+	return bld.Gate(gates.AND, a, b)
+}
+
+func (norBasis) Or(bld *program.Builder, a, b program.Bit) program.Bit {
+	n := bld.Gate(gates.NOR, a, b)
+	out := bld.Gate(gates.NOT, n, program.NoBit)
+	bld.Free(n)
+	return out
+}
+
+func (norBasis) Xor(bld *program.Builder, a, b program.Bit) program.Bit {
+	n1 := bld.Gate(gates.NOR, a, b)
+	n2 := bld.Gate(gates.NOR, a, n1)
+	n3 := bld.Gate(gates.NOR, b, n1)
+	xnor := bld.Gate(gates.NOR, n2, n3)
+	out := bld.Gate(gates.NOT, xnor, program.NoBit)
+	bld.Free(n1, n2, n3, xnor)
+	return out
+}
+
+type mixed2Basis struct{}
+
+func (mixed2Basis) Name() string { return "mixed2" }
+
+// FullAdder is the 5-gate minimum two-input decomposition (§3.2: "Using
+// 2-input logic gates, a full-add requires a minimum of 5 gates").
+func (mixed2Basis) FullAdder(bld *program.Builder, a, b, cin program.Bit) (program.Bit, program.Bit) {
+	s1 := bld.Gate(gates.XOR, a, b)
+	c1 := bld.Gate(gates.AND, a, b)
+	sum := bld.Gate(gates.XOR, s1, cin)
+	c2 := bld.Gate(gates.AND, s1, cin)
+	bld.Free(s1)
+	cout := bld.Gate(gates.OR, c1, c2)
+	bld.Free(c1, c2)
+	return sum, cout
+}
+
+// HalfAdder is the 2-gate decomposition ("a half-add requires 2 gates").
+func (mixed2Basis) HalfAdder(bld *program.Builder, a, b program.Bit) (program.Bit, program.Bit) {
+	sum := bld.Gate(gates.XOR, a, b)
+	cout := bld.Gate(gates.AND, a, b)
+	return sum, cout
+}
+
+func (mixed2Basis) And(bld *program.Builder, a, b program.Bit) program.Bit {
+	return bld.Gate(gates.AND, a, b)
+}
+
+func (mixed2Basis) Or(bld *program.Builder, a, b program.Bit) program.Bit {
+	return bld.Gate(gates.OR, a, b)
+}
+
+func (mixed2Basis) Xor(bld *program.Builder, a, b program.Bit) program.Bit {
+	return bld.Gate(gates.XOR, a, b)
+}

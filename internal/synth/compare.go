@@ -1,0 +1,59 @@
+package synth
+
+import (
+	"pimendure/internal/program"
+)
+
+// GreaterEqual emits a comparator returning a single bit that is 1 iff
+// x ≥ y (both unsigned, equal width, LSB first). It is the "simple
+// comparison operation" the paper uses as the binary-neural-network
+// threshold (§4): x − y is computed as x + ¬y + 1 and the final carry is
+// the result. Only the carry chain's sums are synthesized as part of the
+// full adders; the comparator costs b NOT gates, one OR, and b−1 full
+// adders.
+//
+// Input bits stay owned by the caller; the returned bit transfers.
+func GreaterEqual(bld *program.Builder, basis Basis, x, y []program.Bit) program.Bit {
+	if len(x) != len(y) {
+		panic("synth: GreaterEqual operand width mismatch")
+	}
+	if len(x) == 0 {
+		panic("synth: GreaterEqual on empty operands")
+	}
+	// Stage 0 with carry-in 1: carry = x₀ + ¬y₀ + 1 ≥ 2 ⟺ x₀ ∨ ¬y₀.
+	ny := bld.Not(y[0])
+	carry := basis.Or(bld, x[0], ny)
+	bld.Free(ny)
+	for i := 1; i < len(x); i++ {
+		ny = bld.Not(y[i])
+		sum, c := basis.FullAdder(bld, x[i], ny, carry)
+		bld.Free(ny, sum, carry)
+		carry = c
+	}
+	return carry
+}
+
+// Equal emits an equality comparator: 1 iff x == y. It XNORs each bit pair
+// and ANDs the results down; cost is b XNOR-equivalents plus b−1 ANDs.
+func Equal(bld *program.Builder, basis Basis, x, y []program.Bit) program.Bit {
+	if len(x) != len(y) {
+		panic("synth: Equal operand width mismatch")
+	}
+	if len(x) == 0 {
+		panic("synth: Equal on empty operands")
+	}
+	var acc program.Bit = program.NoBit
+	for i := range x {
+		xo := basis.Xor(bld, x[i], y[i])
+		eq := bld.Not(xo)
+		bld.Free(xo)
+		if acc == program.NoBit {
+			acc = eq
+		} else {
+			next := basis.And(bld, acc, eq)
+			bld.Free(acc, eq)
+			acc = next
+		}
+	}
+	return acc
+}

@@ -1,0 +1,87 @@
+package synth_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimendure/internal/program"
+	"pimendure/internal/synth"
+)
+
+// ShuffledMult (Fig. 10) must compute the exact product while touching the
+// caller's destination bits only through its final COPY gates.
+func TestShuffledMultFunctional(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, b := range []int{2, 4, 8} {
+		for trial := 0; trial < 8; trial++ {
+			x := rng.Uint64() & (1<<uint(b) - 1)
+			y := rng.Uint64() & (1<<uint(b) - 1)
+			var slot int
+			r := runLanes(t, 1, 4096, func(bld *program.Builder) {
+				xb, _ := bld.WriteVector(b)
+				yb, _ := bld.WriteVector(b)
+				out := bld.AllocN(2 * b)
+				synth.ShuffledMult(bld, synth.NAND, xb, yb, out)
+				slot = bld.ReadVector(out)
+			}, wordData(b, [][]uint64{{x, y}}))
+			if got := r.OutWord(slot, 2*b, 0); got != x*y {
+				t.Errorf("b=%d: shuffled %d×%d = %d, want %d", b, x, y, got, x*y)
+			}
+		}
+	}
+}
+
+// The executable shuffle's gate overhead must equal the Table 2 model:
+// exactly 4b extra COPY gates over the bare multiplication.
+func TestShuffledMultOverheadMatchesTable2(t *testing.T) {
+	for _, b := range []int{4, 8, 16, 32} {
+		count := func(shuffled bool) int {
+			bld := program.NewBuilder(1, 1<<16)
+			x := bld.AllocN(b)
+			y := bld.AllocN(b)
+			if shuffled {
+				out := bld.AllocN(2 * b)
+				synth.ShuffledMult(bld, synth.Mixed2, x, y, out)
+			} else {
+				synth.Dadda(bld, synth.Mixed2, x, y)
+			}
+			n := 0
+			for _, op := range bld.Trace().Ops {
+				if op.Kind == program.OpGate {
+					n++
+				}
+			}
+			return n
+		}
+		extra := count(true) - count(false)
+		if want := synth.ShuffleCopyGates(synth.ShuffleMult, b); extra != want {
+			t.Errorf("b=%d: shuffle overhead %d gates, want %d", b, extra, want)
+		}
+	}
+}
+
+func TestShuffledMultRejectsBadDestination(t *testing.T) {
+	bld := program.NewBuilder(1, 1024)
+	x := bld.AllocN(4)
+	y := bld.AllocN(4)
+	out := bld.AllocN(7)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-size destination should panic")
+		}
+	}()
+	synth.ShuffledMult(bld, synth.NAND, x, y, out)
+}
+
+// ShuffledMult must not leak workspace: live bits return to inputs+output.
+func TestShuffledMultFreesIntermediates(t *testing.T) {
+	bld := program.NewBuilder(1, 1<<16)
+	x := bld.AllocN(8)
+	y := bld.AllocN(8)
+	out := bld.AllocN(16)
+	base := bld.Live()
+	synth.ShuffledMult(bld, synth.NAND, x, y, out)
+	if bld.Live() != base {
+		t.Errorf("leaked %d bits", bld.Live()-base)
+	}
+}

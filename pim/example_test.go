@@ -1,0 +1,58 @@
+package pim_test
+
+import (
+	"fmt"
+
+	"pimendure/pim"
+)
+
+// The canonical flow: compile a kernel, verify it computes, accumulate
+// wear, estimate lifetime.
+func Example() {
+	opt := pim.Options{Lanes: 64, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+	bench, err := pim.NewParallelMult(opt, 32)
+	if err != nil {
+		panic(err)
+	}
+	res, err := pim.Run(bench, opt,
+		pim.RunConfig{Iterations: 1000, RecompileEvery: 100, Seed: 1},
+		pim.Strategy{Within: pim.Random, Between: pim.Static, Hw: true},
+		pim.MRAM())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("utilization %.0f%%, lifetime %.1f days\n", res.Utilization*100, res.Lifetime.Days())
+	// Output: utilization 100%, lifetime 33.1 days
+}
+
+// §3.1's headline arithmetic is available without simulation.
+func ExampleWriteAmplification() {
+	fmt.Printf("%.1fx\n", pim.WriteAmplification(pim.DefaultOptions(), 32))
+	// Output: 153.5x
+}
+
+// Eq. 2: the perfectly-balanced upper bound on array lifetime.
+func ExampleUpperBoundSeconds() {
+	days := pim.UpperBoundSeconds(1024, 1024, pim.MRAM()) / 86400
+	fmt.Printf("%.2f days\n", days)
+	// Output: 35.56 days
+}
+
+// Fig. 11b's closed form: failed cells poison whole bit addresses.
+func ExampleUsableFraction() {
+	fmt.Printf("%.4f\n", pim.UsableFraction(1024, 0.01))
+	// Output: 0.0000
+}
+
+// Verify proves a compiled kernel computes exactly, under any strategy.
+func ExampleVerify() {
+	opt := pim.Options{Lanes: 8, Rows: 256, PresetOutputs: true, NANDBasis: true}
+	bench, err := pim.NewVectorAdd(opt, 16)
+	if err != nil {
+		panic(err)
+	}
+	data := func(slot, lane int) bool { return (slot*lane)%3 == 1 }
+	err = pim.Verify(bench, opt, pim.Strategy{Within: pim.ByteShift, Hw: true}, data)
+	fmt.Println(err)
+	// Output: <nil>
+}

@@ -1,0 +1,160 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+
+	"pimendure/pim"
+	"pimendure/pim/kernel"
+)
+
+func opts() pim.Options {
+	return pim.Options{Lanes: 8, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+}
+
+func data(seed int64) func(slot, lane int) bool {
+	return func(slot, lane int) bool {
+		z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(slot)*0xBF58476D1CE4E5B9 + uint64(lane)*0x94D049BB133111EB
+		z ^= z >> 29
+		z *= 0xBF58476D1CE4E5B9
+		return z>>17&1 == 1
+	}
+}
+
+// verify compiles and functionally checks a kernel under both a static and
+// a remapped configuration.
+func verify(t *testing.T, name string, outs ...kernel.OutputNode) *pim.Benchmark {
+	t.Helper()
+	b, err := kernel.Compile(opts(), name, outs...)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	d := data(int64(len(name)))
+	if err := pim.Verify(b, opts(), pim.StaticStrategy, d); err != nil {
+		t.Fatalf("%s static: %v", name, err)
+	}
+	if err := pim.Verify(b, opts(), pim.Strategy{Within: pim.Random, Between: pim.ByteShift, Hw: true}, d); err != nil {
+		t.Fatalf("%s remapped: %v", name, err)
+	}
+	return b
+}
+
+func TestMulAddMACKernel(t *testing.T) {
+	a := kernel.Input(8)
+	b := kernel.Input(8)
+	c := kernel.Input(16)
+	mac := kernel.Add(kernel.Mul(a, b), c)
+	if mac.Bits() != 17 {
+		t.Fatalf("mac width %d, want 17", mac.Bits())
+	}
+	verify(t, "mac8", kernel.Output(mac))
+}
+
+func TestBitwiseAndNotKernel(t *testing.T) {
+	x := kernel.Input(12)
+	y := kernel.Input(12)
+	verify(t, "bitops",
+		kernel.Output(kernel.And(x, y)),
+		kernel.Output(kernel.Or(x, y)),
+		kernel.Output(kernel.Xor(x, y)),
+		kernel.Output(kernel.Not(x)))
+}
+
+func TestThresholdKernel(t *testing.T) {
+	a := kernel.Input(6)
+	b := kernel.Input(6)
+	thr := kernel.Input(12)
+	verify(t, "threshold", kernel.Output(kernel.GE(kernel.Mul(a, b), thr)))
+}
+
+// Shared subexpressions compile once: (a·b) feeding two outputs should
+// synthesize a single multiplier.
+func TestCommonSubexpressionSharing(t *testing.T) {
+	a := kernel.Input(6)
+	b := kernel.Input(6)
+	prod := kernel.Mul(a, b)
+	c := kernel.Input(12)
+	shared := verify(t, "shared",
+		kernel.Output(kernel.And(prod, c)),
+		kernel.Output(kernel.Xor(prod, c)))
+
+	a2 := kernel.Input(6)
+	b2 := kernel.Input(6)
+	c2 := kernel.Input(12)
+	unshared := verify(t, "unshared",
+		kernel.Output(kernel.And(kernel.Mul(a2, b2), c2)),
+		kernel.Output(kernel.Xor(kernel.Mul(a2, b2), c2)))
+
+	if len(shared.Trace.Ops) >= len(unshared.Trace.Ops) {
+		t.Errorf("shared DAG (%d ops) should be smaller than duplicated one (%d ops)",
+			len(shared.Trace.Ops), len(unshared.Trace.Ops))
+	}
+}
+
+// A squaring kernel: the same node as both multiplier inputs.
+func TestSquareKernel(t *testing.T) {
+	a := kernel.Input(7)
+	verify(t, "square", kernel.Output(kernel.Mul(a, a)))
+}
+
+// The compiled kernel runs through the full endurance pipeline.
+func TestKernelEndToEndWear(t *testing.T) {
+	a := kernel.Input(8)
+	b := kernel.Input(8)
+	bench, err := kernel.Compile(opts(), "wear-kernel", kernel.Output(kernel.Mul(a, b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pim.Run(bench, opts(), pim.RunConfig{Iterations: 100, RecompileEvery: 20, Seed: 1},
+		pim.Strategy{Within: pim.Random}, pim.MRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime.Days() <= 0 {
+		t.Error("no lifetime computed")
+	}
+	if res.Utilization != 1.0 {
+		t.Errorf("utilization %v, want 1.0", res.Utilization)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := kernel.Compile(opts(), "empty"); err == nil {
+		t.Error("no outputs accepted")
+	}
+	w := kernel.Input(4)
+	n := kernel.Input(6)
+	if _, err := kernel.Compile(opts(), "widths", kernel.Output(kernel.And(w, n))); err == nil ||
+		!strings.Contains(err.Error(), "widths") {
+		t.Errorf("width mismatch not caught: %v", err)
+	}
+	one := kernel.Input(1)
+	if _, err := kernel.Compile(opts(), "mul1", kernel.Output(kernel.Mul(one, one))); err == nil {
+		t.Error("1-bit mul accepted")
+	}
+	if _, err := kernel.Compile(opts(), "zero", kernel.Output(kernel.Input(0))); err == nil {
+		t.Error("0-bit input accepted")
+	}
+	// Capacity exhaustion is an error, not a panic.
+	tiny := opts()
+	tiny.Rows = 16
+	big1 := kernel.Input(16)
+	big2 := kernel.Input(16)
+	if _, err := kernel.Compile(tiny, "huge", kernel.Output(kernel.Mul(big1, big2))); err == nil {
+		t.Error("oversized kernel accepted")
+	}
+}
+
+// Optimizer and serialization compose with compiled kernels.
+func TestKernelComposesWithToolchain(t *testing.T) {
+	a := kernel.Input(6)
+	b := kernel.Input(6)
+	bench, err := kernel.Compile(opts(), "chain", kernel.Output(kernel.Add(a, b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opted, _ := pim.Optimize(bench)
+	if err := pim.Verify(opted, opts(), pim.StaticStrategy, data(7)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,431 @@
+// Package pim is the public API of pimendure, a from-scratch Go
+// reproduction of "On Endurance of Processing in (Nonvolatile) Memory"
+// (Resch et al., ISCA 2023).
+//
+// The library models digital processing-in-memory (PIM) on nonvolatile
+// arrays at instruction-level accuracy: workload kernels compile into
+// sequential gate traces, traces execute on a bit-accurate array simulator
+// or on a fast wear-accounting engine, and accumulated per-cell write
+// distributions feed the paper's lifetime model (Eq. 4) under 18
+// load-balancing configurations (3 within-lane × 3 between-lane software
+// strategies × hardware renaming on/off).
+//
+// Typical use:
+//
+//	opt := pim.DefaultOptions()               // 1024×1024, NAND basis, presets on
+//	bench, _ := pim.NewParallelMult(opt, 32)  // §4's first benchmark
+//	res, _ := pim.Run(bench, opt, pim.RunConfig{Iterations: 10000, RecompileEvery: 100},
+//	        pim.Strategy{Within: pim.Random, Between: pim.Static, Hw: true},
+//	        pim.MRAM())
+//	fmt.Println(res.Lifetime.Days(), "days")
+package pim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"pimendure/internal/array"
+	"pimendure/internal/baseline"
+	"pimendure/internal/core"
+	"pimendure/internal/device"
+	"pimendure/internal/energy"
+	"pimendure/internal/faults"
+	"pimendure/internal/lifetime"
+	"pimendure/internal/mapping"
+	"pimendure/internal/opt"
+	"pimendure/internal/program"
+	"pimendure/internal/render"
+	"pimendure/internal/stats"
+	"pimendure/internal/synth"
+	"pimendure/internal/system"
+	"pimendure/internal/traceio"
+	"pimendure/internal/workloads"
+)
+
+// Re-exported building blocks. The aliases keep one canonical definition in
+// the internal packages while making the types part of the public API.
+type (
+	// Benchmark is a compiled workload with its functional reference model.
+	Benchmark = workloads.Benchmark
+	// Strategy is one load-balancing configuration (within×between[+Hw]).
+	Strategy = core.StrategyConfig
+	// WriteDist is an accumulated per-cell write distribution.
+	WriteDist = core.WriteDist
+	// Technology is an NVM device model (endurance + switching time).
+	Technology = device.Technology
+	// Lifetime is an Eq. 4 lifetime estimate.
+	Lifetime = lifetime.Result
+	// Grid is a dense matrix for heatmaps.
+	Grid = stats.Grid
+	// FaultCurvePoint samples Fig. 11b's usable-vs-failed curve.
+	FaultCurvePoint = faults.CurvePoint
+	// EnergyModel carries per-cell access energies.
+	EnergyModel = energy.Model
+	// EnergyBreakdown splits a trace's energy by access type.
+	EnergyBreakdown = energy.Breakdown
+	// VarLifetime is a Monte Carlo first-failure estimate under per-cell
+	// endurance variability.
+	VarLifetime = lifetime.VarResult
+	// ChipConfig describes a multi-array accelerator.
+	ChipConfig = system.Config
+	// ChipEstimate is a chip-level replacement-time distribution.
+	ChipEstimate = system.Estimate
+)
+
+// Device energy models (orders of magnitude from the PIM literature).
+var (
+	MRAMEnergy   = energy.MRAM
+	RRAMEnergy   = energy.RRAM
+	PCMEnergy    = energy.PCM
+	EnergyModels = energy.Models
+)
+
+// Software re-mapping strategies (§3.2).
+const (
+	Static    = mapping.Static
+	Random    = mapping.Random
+	ByteShift = mapping.ByteShift
+)
+
+// Device models from the paper's §2.1 survey.
+var (
+	MRAM          = device.MRAM
+	RRAM          = device.RRAM
+	PCM           = device.PCM
+	ProjectedMRAM = device.ProjectedMRAM
+	Technologies  = device.Technologies
+)
+
+// AllStrategies enumerates the paper's 18 configurations; StaticStrategy is
+// the St×St baseline.
+var (
+	AllStrategies  = core.AllConfigs
+	StaticStrategy = core.Static
+)
+
+// Options sizes the simulated PIM array and selects the gate basis.
+type Options struct {
+	// Lanes × Rows is the array size (the paper evaluates 1024×1024).
+	Lanes, Rows int
+	// PresetOutputs charges the CRAM-style output preset write before
+	// every gate (§4 accounts for it; Pinatubo-style sense-amp designs
+	// don't need it).
+	PresetOutputs bool
+	// NANDBasis selects the paper's NAND decomposition (true, default)
+	// or the minimum two-input Mixed2 basis (false).
+	NANDBasis bool
+	// LowestFirstAlloc switches workspace reuse to the adversarial
+	// lowest-address-first allocator (ablation; the default rotating
+	// next-fit allocator matches the paper's simulator).
+	LowestFirstAlloc bool
+}
+
+// DefaultOptions returns the paper's evaluation setup: a 1024×1024
+// column-parallel array with output presetting, NAND basis.
+func DefaultOptions() Options {
+	return Options{Lanes: 1024, Rows: 1024, PresetOutputs: true, NANDBasis: true}
+}
+
+func (o Options) workloadConfig() workloads.Config {
+	b := synth.Basis(synth.NAND)
+	if !o.NANDBasis {
+		b = synth.Mixed2
+	}
+	alloc := program.NextFit
+	if o.LowestFirstAlloc {
+		alloc = program.LowestFirst
+	}
+	return workloads.Config{Lanes: o.Lanes, Rows: o.Rows, Basis: b, Alloc: alloc}
+}
+
+// NewParallelMult compiles the embarrassingly parallel multiplication
+// benchmark (§4) at the given operand precision.
+func NewParallelMult(opt Options, bits int) (*Benchmark, error) {
+	return workloads.ParallelMult(opt.workloadConfig(), bits)
+}
+
+// NewDotProduct compiles the n-element dot-product benchmark (§4).
+func NewDotProduct(opt Options, n, bits int) (*Benchmark, error) {
+	return workloads.DotProduct(opt.workloadConfig(), n, bits)
+}
+
+// NewConvolution compiles the convolution benchmark; groupLanes lanes
+// cooperate per filter position, each performing multsPerLane sequential
+// multiplications (§4 uses 4×3 at 8 bits).
+func NewConvolution(opt Options, groupLanes, multsPerLane, bits int) (*Benchmark, error) {
+	return workloads.Convolution(opt.workloadConfig(),
+		workloads.ConvConfig{GroupLanes: groupLanes, MultsPerLane: multsPerLane, Bits: bits})
+}
+
+// NewVectorAdd compiles the parallel-addition extension benchmark.
+func NewVectorAdd(opt Options, bits int) (*Benchmark, error) {
+	return workloads.VectorAdd(opt.workloadConfig(), bits)
+}
+
+// NewBNNLayer compiles the binarized-neural-network extension benchmark:
+// one n-synapse XNOR-popcount-threshold neuron per lane.
+func NewBNNLayer(opt Options, synapses int) (*Benchmark, error) {
+	return workloads.BNNLayer(opt.workloadConfig(), synapses)
+}
+
+// PaperBenchmarks compiles the paper's three kernels at their §4
+// parameters.
+func PaperBenchmarks(opt Options) ([]*Benchmark, error) {
+	return workloads.PaperSuite(opt.workloadConfig())
+}
+
+// RunConfig controls an endurance simulation.
+type RunConfig struct {
+	// Iterations is how many times the kernel repeats (§4: 100 000).
+	Iterations int
+	// RecompileEvery is the software re-mapping period (§4's headline
+	// figures: 100); ≤ 0 disables re-mapping.
+	RecompileEvery int
+	// Seed drives the random-shuffle permutation sequence.
+	Seed int64
+}
+
+// Result is the outcome of one endurance run.
+type Result struct {
+	Benchmark string
+	Strategy  Strategy
+	// Dist is the accumulated write distribution.
+	Dist *WriteDist
+	// MaxWritesPerIteration is Eq. 4's max(WriteCount) normalized per
+	// iteration.
+	MaxWritesPerIteration float64
+	// Utilization is the time-weighted fraction of active lanes
+	// (Table 3).
+	Utilization float64
+	// Lifetime is the Eq. 4 estimate for the run's technology.
+	Lifetime Lifetime
+	// Imbalance is max/mean over cells that the benchmark can touch.
+	Imbalance float64
+}
+
+// Run simulates the benchmark under one strategy and estimates lifetime on
+// the given technology.
+func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (*Result, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	sim := core.SimConfig{
+		Rows:           opt.Rows,
+		PresetOutputs:  opt.PresetOutputs,
+		Iterations:     rc.Iterations,
+		RecompileEvery: rc.RecompileEvery,
+		Seed:           rc.Seed,
+	}
+	dist, err := core.Simulate(b.Trace, sim, s)
+	if err != nil {
+		return nil, err
+	}
+	st := b.Trace.ComputeStats(opt.PresetOutputs)
+	model := lifetime.Model{Endurance: tech.Endurance, StepSeconds: tech.SwitchSeconds}
+	lt, err := model.Estimate(dist.MaxPerIteration(), st.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Benchmark:             b.Name,
+		Strategy:              s,
+		Dist:                  dist,
+		MaxWritesPerIteration: dist.MaxPerIteration(),
+		Utilization:           st.Utilization,
+		Lifetime:              lt,
+		Imbalance:             stats.MaxOverMean(dist.Counts),
+	}, nil
+}
+
+// Sweep runs the benchmark under every given strategy concurrently and
+// returns results in the input order. A nil strategy list means all 18.
+func Sweep(b *Benchmark, opt Options, rc RunConfig, strategies []Strategy, tech Technology) ([]*Result, error) {
+	if strategies == nil {
+		strategies = AllStrategies()
+	}
+	results := make([]*Result, len(strategies))
+	errs := make([]error, len(strategies))
+	var wg sync.WaitGroup
+	for i, s := range strategies {
+		wg.Add(1)
+		go func(i int, s Strategy) {
+			defer wg.Done()
+			results[i], errs[i] = Run(b, opt, rc, s, tech)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Improvements converts sweep results into Fig. 17's lifetime-improvement
+// factors relative to the St×St baseline (which must be present), sorted
+// descending.
+func Improvements(results []*Result) ([]Improvement, error) {
+	var base *Result
+	for _, r := range results {
+		if r.Strategy == StaticStrategy {
+			base = r
+		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("pim: sweep has no St×St baseline")
+	}
+	out := make([]Improvement, 0, len(results))
+	for _, r := range results {
+		out = append(out, Improvement{
+			Strategy: r.Strategy,
+			Factor:   lifetime.Improvement(base.MaxWritesPerIteration, r.MaxWritesPerIteration),
+			Result:   r,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Factor > out[j].Factor })
+	return out, nil
+}
+
+// Improvement pairs a strategy with its lifetime factor over St×St.
+type Improvement struct {
+	Strategy Strategy
+	Factor   float64
+	Result   *Result
+}
+
+// Heatmap converts a write distribution into a normalized grid,
+// downsampled to at most maxDim cells on each axis — the rendering behind
+// Figs. 14–16.
+func Heatmap(d *WriteDist, maxDim int) (*Grid, error) {
+	g, err := stats.FromCounts(d.Counts, d.Rows, d.Lanes)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := d.Rows, d.Lanes
+	if maxDim > 0 {
+		if rows > maxDim {
+			rows = maxDim
+		}
+		if cols > maxDim {
+			cols = maxDim
+		}
+		if g, err = g.Downsample(rows, cols); err != nil {
+			return nil, err
+		}
+	}
+	return g.Normalized(), nil
+}
+
+// WriteHeatmapPNG renders a normalized grid to PNG.
+func WriteHeatmapPNG(w io.Writer, g *Grid, scale int) error {
+	return render.HeatmapPNG(w, g, scale)
+}
+
+// WriteHeatmapPGM renders a normalized grid to plain PGM.
+func WriteHeatmapPGM(w io.Writer, g *Grid) error {
+	return render.HeatmapPGM(w, g)
+}
+
+// Verify executes one full iteration of the benchmark on the bit-accurate
+// array simulator under the given strategy's epoch-0 layout and checks the
+// results against the benchmark's reference model. data may be nil
+// (all-zero operands).
+func Verify(b *Benchmark, opt Options, s Strategy, data func(slot, lane int) bool) error {
+	sim := core.SimConfig{Rows: opt.Rows, PresetOutputs: opt.PresetOutputs, Iterations: 1}
+	var fn array.DataFunc
+	if data != nil {
+		fn = data
+	}
+	_, runner, err := core.BruteForce(b.Trace, sim, s, fn)
+	if err != nil {
+		return err
+	}
+	if data == nil {
+		data = func(int, int) bool { return false }
+	}
+	return b.Check(data, runner.Out)
+}
+
+// SaveDist serializes a write distribution (versioned JSON).
+func SaveDist(w io.Writer, d *WriteDist) error { return traceio.WriteDist(w, d) }
+
+// LoadDist reads back a distribution written by SaveDist.
+func LoadDist(r io.Reader) (*WriteDist, error) { return traceio.ReadDist(r) }
+
+// SaveTrace serializes a benchmark's compiled trace (versioned JSON).
+func SaveTrace(w io.Writer, b *Benchmark) error { return traceio.WriteTrace(w, b.Trace) }
+
+// EnergyPerIteration prices one benchmark iteration on a device energy
+// model (reads + writes, preset-inclusive when the options say so).
+func EnergyPerIteration(b *Benchmark, opt Options, m energy.Model) (energy.Breakdown, error) {
+	return energy.OfTrace(b.Trace, opt.PresetOutputs, m)
+}
+
+// LifetimeUnderVariability Monte-Carlo estimates first-failure iterations
+// when per-cell endurance is lognormal around tech.Endurance with shape
+// sigma — quantifying the §4 uniform-endurance caveat.
+func LifetimeUnderVariability(res *Result, tech Technology, sigma float64, trials int, seed int64) (lifetime.VarResult, error) {
+	m := lifetime.VarModel{MedianEndurance: tech.Endurance, Sigma: sigma, StepSeconds: tech.SwitchSeconds}
+	return m.FirstFailure(res.Dist.Counts, res.Dist.Iterations, trials, seed)
+}
+
+// OptimizeStats reports what Optimize did.
+type OptimizeStats = opt.Stats
+
+// Optimize runs the trace optimizer (copy propagation + dead-gate
+// elimination) over a benchmark, returning a functionally identical
+// benchmark with fewer gates — fewer time steps and fewer cell writes
+// (§2.2: fewest gates is optimal for PIM). The reference checker carries
+// over unchanged because the external data slots are preserved.
+func Optimize(b *Benchmark) (*Benchmark, OptimizeStats) {
+	tr, st := opt.Optimize(b.Trace, opt.All())
+	return &Benchmark{
+		Name:        b.Name,
+		Description: b.Description + " (optimized)",
+		Trace:       tr,
+		Check:       b.Check,
+	}, st
+}
+
+// ChipLifetime lifts a single-array lifetime to a whole accelerator
+// (§4's replacement scenario): Monte Carlo over lognormal array-to-array
+// variation, spare arrays, and duty cycle.
+func ChipLifetime(arrayLife Lifetime, cfg ChipConfig, trials int, seed int64) (ChipEstimate, error) {
+	return system.ChipLifetime(arrayLife.Seconds, cfg, trials, seed)
+}
+
+// UpperBoundOps is Eq. 1: operations an array sustains under perfect
+// balancing.
+func UpperBoundOps(rows, lanes int, tech Technology, writesPerOp float64) float64 {
+	return lifetime.UpperBoundOps(rows, lanes, tech.Endurance, writesPerOp)
+}
+
+// UpperBoundSeconds is Eq. 2: seconds to total break-down at full
+// utilization.
+func UpperBoundSeconds(rows, lanes int, tech Technology) float64 {
+	return lifetime.UpperBoundSeconds(rows, lanes, tech.Endurance, tech.SwitchSeconds)
+}
+
+// WriteAmplification is §3.1's PIM-vs-conventional write ratio for a b-bit
+// multiply (153.5× at 32 bits in the NAND basis).
+func WriteAmplification(opt Options, bits int) float64 {
+	b := synth.Basis(synth.NAND)
+	if !opt.NANDBasis {
+		b = synth.Mixed2
+	}
+	return baseline.WriteAmplification(b, bits)
+}
+
+// UsableFraction is Fig. 11b's closed form: expected usable fraction of
+// each lane when failedFrac of the array's cells have failed.
+func UsableFraction(lanes int, failedFrac float64) float64 {
+	return faults.UsableFractionExpected(lanes, failedFrac)
+}
+
+// FaultCurve samples Fig. 11b by Monte Carlo alongside the closed form.
+func FaultCurve(rows, lanes int, failedFracs []float64, trials int, seed int64) ([]FaultCurvePoint, error) {
+	return faults.UsableCurve(rows, lanes, failedFracs, trials, seed)
+}
