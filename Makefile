@@ -1,0 +1,32 @@
+# Build/verify entry points. `make ci` is what the repo considers green:
+# vet plus the full test suite under the race detector (the wear engine
+# and pim.Sweep are concurrent; racing them is part of tier-1).
+
+GO ?= go
+
+.PHONY: all build vet test race bench report ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark pass; BenchmarkHwEngine/speedup reports the parallel +
+# memoized engine's gain over the serial reference as `speedup_x`.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Full paper reproduction (use -quick via REPORT_FLAGS for a fast pass).
+report:
+	$(GO) run ./cmd/endurance-report $(REPORT_FLAGS)
+
+ci: vet race

@@ -11,7 +11,9 @@
 package pimendure
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"pimendure/internal/baseline"
 	"pimendure/internal/core"
@@ -417,6 +419,96 @@ func BenchmarkAblationEngine(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkHwEngine compares the bounded parallel + memoized +Hw wear
+// engine against the retained serial reference on the +Hw half of the
+// strategy sweep (the wall-clock-dominating part of Figs. 14–17). The
+// "speedup" sub-benchmark times both paths on identical inputs and
+// reports the ratio; the engine's epoch memoization alone (St-within
+// epochs collapse to one replay, Bs-within rotations cycle with period
+// archRows/gcd(step, archRows)) delivers the win even at GOMAXPROCS=1,
+// and the worker pool multiplies it on real cores.
+func BenchmarkHwEngine(b *testing.B) {
+	cfg := workloads.Config{Lanes: 128, Rows: 257, Basis: synth.NAND}
+	bench, err := workloads.ParallelMult(cfg, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 256 architectural rows under Hw: the Bs step of 8 cycles after 32
+	// epochs, so 128 epochs reuse each rotation 4 times; St-within
+	// epochs all collapse into one replay.
+	sim := core.SimConfig{Rows: 257, PresetOutputs: true, Iterations: 12800, RecompileEvery: 100, Seed: 1}
+	var hwConfigs []core.StrategyConfig
+	for _, c := range core.AllConfigs() {
+		if c.Hw {
+			hwConfigs = append(hwConfigs, c)
+		}
+	}
+	sweep := func(b *testing.B, sim core.SimConfig,
+		engine func(*program.Trace, core.SimConfig, core.StrategyConfig) (*core.WriteDist, error)) {
+		b.Helper()
+		for _, s := range hwConfigs {
+			if _, err := engine(bench.Trace, sim, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, sim, core.SimulateReference)
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, sim, core.Simulate)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var ref, eng time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			sweep(b, sim, core.SimulateReference)
+			ref += time.Since(t0)
+			t0 = time.Now()
+			sweep(b, sim, core.Simulate)
+			eng += time.Since(t0)
+		}
+		b.ReportMetric(float64(ref)/float64(eng), "speedup_x")
+	})
+	// Cross-check on the benchmark's own inputs: the two engines must be
+	// bit-identical here too, or the speedup numbers are meaningless.
+	for _, s := range hwConfigs {
+		fast, err := core.Simulate(bench.Trace, sim, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow, err := core.SimulateReference(bench.Trace, sim, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !fast.Equal(slow) {
+			b.Fatalf("%s: engines disagree on benchmark inputs", s.Name())
+		}
+	}
+}
+
+// BenchmarkSweepWorkers measures the full 18-configuration sweep at
+// explicit worker budgets (the pim.Sweep bounded pool).
+func BenchmarkSweepWorkers(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	opt := benchOptions()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rc := benchRun()
+			rc.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := pim.Sweep(bench, opt, rc, nil, pim.MRAM()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkArrayIteration measures the bit-accurate simulator's throughput

@@ -68,7 +68,7 @@ func runVariability(cfg config) error {
 	if err != nil {
 		return err
 	}
-	rc := pim.RunConfig{Iterations: 2000, RecompileEvery: cfg.recompile, Seed: cfg.seed}
+	rc := pim.RunConfig{Iterations: 2000, RecompileEvery: cfg.recompile, Seed: cfg.seed, Workers: cfg.workers}
 	t := report.NewTable("E18 — first failure under lognormal endurance variability (32-bit multiply, MRAM median 10¹²)",
 		"strategy", "sigma", "Eq.4 iterations", "MC mean", "MC p5", "MC p95")
 	for _, s := range []pim.Strategy{pim.StaticStrategy, {Within: pim.Random, Between: pim.Random}} {
@@ -97,7 +97,7 @@ func runChip(cfg config) error {
 	if err != nil {
 		return err
 	}
-	rc := pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed}
+	rc := pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed, Workers: cfg.workers}
 	res, err := pim.Run(bench, opt, rc,
 		pim.Strategy{Within: pim.Random, Between: pim.Random, Hw: true}, pim.MRAM())
 	if err != nil {

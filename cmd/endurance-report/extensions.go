@@ -23,7 +23,7 @@ func runFailureTimeline(cfg config) error {
 	if err != nil {
 		return err
 	}
-	rc := pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed}
+	rc := pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed, Workers: cfg.workers}
 	static, err := pim.Run(bench, opt, rc, pim.StaticStrategy, pim.MRAM())
 	if err != nil {
 		return err

@@ -28,7 +28,7 @@ func runGraceful(cfg config) error {
 			iters = 5000 // the rate vector converges quickly under StxSt
 		}
 		res, err := pim.Run(bench, opt,
-			pim.RunConfig{Iterations: iters, RecompileEvery: cfg.recompile, Seed: cfg.seed},
+			pim.RunConfig{Iterations: iters, RecompileEvery: cfg.recompile, Seed: cfg.seed, Workers: cfg.workers},
 			pim.StaticStrategy, pim.MRAM())
 		if err != nil {
 			return err

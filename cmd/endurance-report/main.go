@@ -40,6 +40,7 @@ type config struct {
 	trials    int
 	heatDim   int
 	heatScale int
+	workers   int
 }
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 	flag.IntVar(&cfg.trials, "trials", 1000, "Monte Carlo trials for fault experiments")
 	flag.IntVar(&cfg.heatDim, "heatdim", 128, "heatmap resolution cap per axis")
 	flag.IntVar(&cfg.heatScale, "heatscale", 4, "heatmap PNG pixels per cell")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for sweeps and the +Hw engine (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 	if *quick {
 		cfg.iters = 2000

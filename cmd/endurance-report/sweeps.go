@@ -49,7 +49,7 @@ func runSweeps(cfg config) error {
 		return err
 	}
 	opt := pimOptions(cfg)
-	rc := pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed}
+	rc := pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed, Workers: cfg.workers}
 
 	table3 := report.NewTable("Table 3 — lane utilization and best lifetime improvement",
 		"benchmark", "avg lane utilization", "lifetime improvement", "best config",
@@ -165,7 +165,7 @@ func runRecompileSweep(cfg config) error {
 	for _, fig := range order {
 		b := benches[fig]
 		static, err := pim.Run(b, opt,
-			pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed},
+			pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed, Workers: cfg.workers},
 			pim.StaticStrategy, pim.MRAM())
 		if err != nil {
 			return err
@@ -175,7 +175,7 @@ func runRecompileSweep(cfg config) error {
 				continue
 			}
 			r, err := pim.Run(b, opt,
-				pim.RunConfig{Iterations: cfg.iters, RecompileEvery: p, Seed: cfg.seed}, ra, pim.MRAM())
+				pim.RunConfig{Iterations: cfg.iters, RecompileEvery: p, Seed: cfg.seed, Workers: cfg.workers}, ra, pim.MRAM())
 			if err != nil {
 				return err
 			}

@@ -12,14 +12,22 @@
 //     form a phase); software permutations only relabel indices, so each
 //     recompile epoch contributes one O(rows×lanes) accumulation pass.
 //     Hardware renaming evolves per gate and is replayed exactly, O(1) per
-//     op.
+//     op — but epochs are independent (the renamer resets at recompile
+//     boundaries), so the +Hw engine memoizes per-epoch histograms by
+//     within-lane permutation and shards the unique replays over a
+//     bounded worker pool (SimConfig.Workers); see hw_engine.go. Results
+//     are bit-identical for every worker count.
 //   - BruteForce — the functional array simulator executing every single
 //     iteration cell by cell. It is mathematically identical and is used
 //     to cross-validate Simulate in the test suite.
+//
+// SimulateReference preserves the pre-memoization serial engine as a
+// third cross-validation point and benchmark baseline.
 package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"pimendure/internal/array"
 	"pimendure/internal/mapping"
@@ -64,10 +72,14 @@ func AllConfigs() []StrategyConfig {
 	return out
 }
 
-// SoftwareConfigs enumerates the nine software-only configurations.
+// SoftwareConfigs enumerates the nine software-only configurations. The
+// returned slice is a fresh copy: it never aliases AllConfigs' backing
+// array, so callers may append to it freely.
 func SoftwareConfigs() []StrategyConfig {
 	all := AllConfigs()
-	return all[:9]
+	out := make([]StrategyConfig, 9)
+	copy(out, all[:9])
+	return out
 }
 
 // SimConfig controls a wear simulation.
@@ -84,8 +96,13 @@ type SimConfig struct {
 	RecompileEvery int
 	// Seed drives the Ra permutation sequence.
 	Seed int64
-	// ShiftStep overrides the Bs rotation per epoch (0 = one byte).
+	// ShiftStep overrides the Bs rotation per epoch (0 = one byte);
+	// negative steps are rejected by Validate.
 	ShiftStep int
+	// Workers bounds the goroutines the +Hw engine shards epochs over;
+	// ≤ 0 selects runtime.GOMAXPROCS(0). The accumulated distribution is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 func (c SimConfig) recompileEvery() int {
@@ -95,6 +112,13 @@ func (c SimConfig) recompileEvery() int {
 	return c.RecompileEvery
 }
 
+func (c SimConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Validate checks the simulation parameters against a trace.
 func (c SimConfig) Validate(tr *program.Trace, hw bool) error {
 	if c.Rows <= 1 {
@@ -102,6 +126,9 @@ func (c SimConfig) Validate(tr *program.Trace, hw bool) error {
 	}
 	if c.Iterations <= 0 {
 		return fmt.Errorf("core: iterations must be positive, got %d", c.Iterations)
+	}
+	if c.ShiftStep < 0 {
+		return fmt.Errorf("core: shift step must be non-negative (0 = one byte), got %d", c.ShiftStep)
 	}
 	arch := c.Rows
 	if hw {
@@ -157,8 +184,13 @@ func (d *WriteDist) Total() uint64 {
 }
 
 // MaxPerIteration returns the hottest cell's writes per benchmark
-// iteration.
+// iteration. A distribution with no recorded iterations (a fresh
+// NewWriteDist, or a zero-iteration file read back through traceio)
+// reports 0 rather than +Inf/NaN.
 func (d *WriteDist) MaxPerIteration() float64 {
+	if d.Iterations <= 0 {
+		return 0
+	}
 	return float64(d.Max()) / float64(d.Iterations)
 }
 
@@ -252,83 +284,6 @@ func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, 
 			for l := 0; l < lanes; l++ {
 				if c := src[l]; c != 0 {
 					dst[between.Apply(l)] += uint64(c) * uint64(n)
-				}
-			}
-		}
-	}
-}
-
-// simulateHw replays the hardware renamer exactly: physical row histograms
-// accumulate per lane mask across an epoch, then land in the distribution
-// through that epoch's between-lane permutation.
-func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
-	lanes := tr.Lanes
-	// Flatten the op stream for the hot loop.
-	type wop struct {
-		row  int32 // logical out row
-		mask int32
-		w    uint8
-		full bool
-	}
-	var ops []wop
-	for _, op := range tr.Ops {
-		if w := op.WritesPerLane(cfg.PresetOutputs); w > 0 {
-			ops = append(ops, wop{
-				row:  int32(op.Out),
-				mask: int32(op.Mask),
-				w:    uint8(w),
-				full: tr.Mask(op.Mask).Full(),
-			})
-		}
-	}
-	maskLanes := make([][]int, len(tr.Masks))
-	for i, m := range tr.Masks {
-		maskLanes[i] = m.Lanes()
-	}
-
-	hw := mapping.NewHwRenamer(cfg.Rows)
-	// hist[mask][physRow] accumulated over one epoch.
-	hist := make([][]uint64, len(tr.Masks))
-	for i := range hist {
-		hist[i] = make([]uint64, cfg.Rows)
-	}
-
-	every := cfg.recompileEvery()
-	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
-		n := every
-		if start+n > cfg.Iterations {
-			n = cfg.Iterations - start
-		}
-		within := sched.EpochWithin(epoch)
-		between := sched.EpochBetween(epoch)
-		hw.Reset()
-		for i := range hist {
-			for r := range hist[i] {
-				hist[i][r] = 0
-			}
-		}
-		for it := 0; it < n; it++ {
-			for _, op := range ops {
-				arch := within.Apply(int(op.row))
-				var phys int
-				if op.full {
-					phys = hw.RenameOnWrite(arch)
-				} else {
-					phys = hw.Lookup(arch)
-				}
-				hist[op.mask][phys] += uint64(op.w)
-			}
-		}
-		for m := range hist {
-			lanesOf := maskLanes[m]
-			for r := 0; r < cfg.Rows; r++ {
-				c := hist[m][r]
-				if c == 0 {
-					continue
-				}
-				dst := dist.Counts[r*lanes:]
-				for _, l := range lanesOf {
-					dst[between.Apply(l)] += c
 				}
 			}
 		}

@@ -1,0 +1,228 @@
+// The bounded parallel + memoized +Hw wear engine.
+//
+// Epochs of a +Hw simulation are independent: the hardware renamer is
+// Reset() at every recompile boundary, so the per-epoch physical-row
+// histogram hist[mask][physRow] depends only on (a) the epoch's
+// within-lane permutation restricted to the trace's logical rows and
+// (b) the epoch length in iterations. The between-lane permutation only
+// relabels columns when the histogram lands in the distribution.
+//
+// The engine exploits this twice:
+//
+//   - Memoization: epochs are grouped by (within-permutation
+//     fingerprint, length), resolved to exact permutation equality on
+//     collision. Under St-within every full-length epoch shares one
+//     group (one replay for the whole run); under Bs-within the rotation
+//     family cycles with period archRows/gcd(step, archRows), so groups
+//     recur whenever the period divides into the epoch count; Ra-within
+//     epochs are (almost always) distinct. Each group is replayed once
+//     and multiply-accumulated into every member epoch through that
+//     epoch's own between-lane permutation.
+//
+//   - Bounded parallelism: groups are sharded over a pool of
+//     SimConfig.Workers goroutines. Each worker accumulates into a
+//     private copy of the distribution; the copies are merged by uint64
+//     addition, which is commutative and associative, so the result is
+//     bit-identical to the serial engine for every worker count.
+package core
+
+import (
+	"pimendure/internal/mapping"
+	"pimendure/internal/pool"
+	"pimendure/internal/program"
+)
+
+// wop is a flattened write-inducing op for the replay hot loop.
+type wop struct {
+	row  int32 // logical out row
+	mask int32
+	w    uint8
+	full bool
+}
+
+// flattenOps projects the trace onto its write-inducing ops and
+// pre-resolves each mask's lane set.
+func flattenOps(tr *program.Trace, preset bool) (ops []wop, maskLanes [][]int) {
+	for _, op := range tr.Ops {
+		if w := op.WritesPerLane(preset); w > 0 {
+			ops = append(ops, wop{
+				row:  int32(op.Out),
+				mask: int32(op.Mask),
+				w:    uint8(w),
+				full: tr.Mask(op.Mask).Full(),
+			})
+		}
+	}
+	maskLanes = make([][]int, len(tr.Masks))
+	for i, m := range tr.Masks {
+		maskLanes[i] = m.Lanes()
+	}
+	return ops, maskLanes
+}
+
+// hwJob is one unique (within-permutation, epoch length) replay unit and
+// the epochs that share its histogram.
+type hwJob struct {
+	epoch0 int    // representative epoch (regenerates the within perm)
+	fp     uint64 // within-permutation fingerprint
+	n      int    // iterations in each member epoch
+	epochs []int  // member epoch numbers (for their between perms)
+}
+
+// planHwEpochs walks the epoch sequence once and groups epochs whose
+// replays would be identical. Permutations are regenerated from the
+// schedule on demand, so the plan holds only integers.
+func planHwEpochs(cfg SimConfig, sched mapping.Schedule) []hwJob {
+	type key struct {
+		fp uint64
+		n  int
+	}
+	var jobs []hwJob
+	index := map[key][]int{} // fingerprint bucket -> job ids (collision list)
+	every := cfg.recompileEvery()
+	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
+		n := every
+		if start+n > cfg.Iterations {
+			n = cfg.Iterations - start
+		}
+		within := sched.EpochWithin(epoch)
+		k := key{within.Fingerprint(), n}
+		jobID := -1
+		for _, cand := range index[k] {
+			if sched.EpochWithin(jobs[cand].epoch0).Equal(within) {
+				jobID = cand
+				break
+			}
+		}
+		if jobID < 0 {
+			jobID = len(jobs)
+			jobs = append(jobs, hwJob{epoch0: epoch, fp: k.fp, n: n})
+			index[k] = append(index[k], jobID)
+		}
+		jobs[jobID].epochs = append(jobs[jobID].epochs, epoch)
+	}
+	return jobs
+}
+
+// betweenGroup is a set of epochs sharing one between-lane permutation.
+type betweenGroup struct {
+	epoch0 int // representative epoch (regenerates the between perm)
+	count  int
+}
+
+// groupByBetween collapses a job's member epochs by between-lane
+// permutation equality (fingerprint first, exact comparison on
+// collision), preserving first-seen order.
+func groupByBetween(sched mapping.Schedule, epochs []int) []betweenGroup {
+	if len(epochs) == 1 {
+		return []betweenGroup{{epoch0: epochs[0], count: 1}}
+	}
+	var groups []betweenGroup
+	index := map[uint64][]int{} // fingerprint -> group ids
+	for _, epoch := range epochs {
+		between := sched.EpochBetween(epoch)
+		fp := between.Fingerprint()
+		id := -1
+		for _, cand := range index[fp] {
+			if sched.EpochBetween(groups[cand].epoch0).Equal(between) {
+				id = cand
+				break
+			}
+		}
+		if id < 0 {
+			id = len(groups)
+			groups = append(groups, betweenGroup{epoch0: epoch})
+			index[fp] = append(index[fp], id)
+		}
+		groups[id].count++
+	}
+	return groups
+}
+
+// simulateHw replays the hardware renamer exactly, once per unique
+// (within-permutation, epoch length) group, sharded over the bounded
+// worker pool.
+func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	lanes := tr.Lanes
+	rows := cfg.Rows
+	ops, maskLanes := flattenOps(tr, cfg.PresetOutputs)
+	nMasks := len(tr.Masks)
+	jobs := planHwEpochs(cfg, sched)
+	workers := pool.Size(cfg.workers(), len(jobs))
+
+	// Per-worker state, reused across the jobs a worker drains. Worker 0
+	// accumulates straight into the final distribution; the other
+	// buffers are merged below.
+	parts := make([][]uint64, workers)
+	parts[0] = dist.Counts
+	hists := make([][]uint64, workers)   // hist[mask*rows+physRow], zeroed per job
+	archRows := make([][]int32, workers) // per-op within-mapped row, constant per job
+	renamers := make([]*mapping.HwRenamer, workers)
+	for w := 0; w < workers; w++ {
+		if w > 0 {
+			parts[w] = make([]uint64, len(dist.Counts))
+		}
+		hists[w] = make([]uint64, nMasks*rows)
+		archRows[w] = make([]int32, len(ops))
+		renamers[w] = mapping.NewHwRenamer(rows)
+	}
+
+	pool.ForEachWorker(workers, len(jobs), func(slot, j int) {
+		job := jobs[j]
+		hist := hists[slot]
+		for i := range hist {
+			hist[i] = 0
+		}
+		// The within permutation is loop-invariant across the epoch's
+		// iterations: resolve each op's architectural row once.
+		within := sched.EpochWithin(job.epoch0)
+		arch := archRows[slot]
+		for i, op := range ops {
+			arch[i] = int32(within.Apply(int(op.row)))
+		}
+		hw := renamers[slot]
+		hw.Reset()
+		for it := 0; it < job.n; it++ {
+			for i, op := range ops {
+				var phys int
+				if op.full {
+					phys = hw.RenameOnWrite(int(arch[i]))
+				} else {
+					phys = hw.Lookup(int(arch[i]))
+				}
+				hist[int(op.mask)*rows+phys] += uint64(op.w)
+			}
+		}
+		// Multiply-accumulate the shared histogram into the member
+		// epochs. Epochs whose between-lane permutations also coincide
+		// (St always, Bs once its rotation cycles) collapse into a
+		// single accumulation scaled by their multiplicity.
+		counts := parts[slot]
+		for _, g := range groupByBetween(sched, job.epochs) {
+			between := sched.EpochBetween(g.epoch0)
+			mult := uint64(g.count)
+			for m := 0; m < nMasks; m++ {
+				lanesOf := maskLanes[m]
+				for r := 0; r < rows; r++ {
+					c := hist[m*rows+r]
+					if c == 0 {
+						continue
+					}
+					c *= mult
+					dst := counts[r*lanes:]
+					for _, l := range lanesOf {
+						dst[between.Apply(l)] += c
+					}
+				}
+			}
+		}
+	})
+
+	for w := 1; w < workers; w++ {
+		for i, c := range parts[w] {
+			if c != 0 {
+				dist.Counts[i] += c
+			}
+		}
+	}
+}

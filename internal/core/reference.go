@@ -1,0 +1,92 @@
+package core
+
+import (
+	"pimendure/internal/mapping"
+	"pimendure/internal/program"
+)
+
+// SimulateReference is the pre-memoization serial wear engine: every
+// epoch of a +Hw run replays every op of every iteration, with no epoch
+// grouping and no worker pool. It is retained as the ground truth the
+// parallel engine must match bit for bit (alongside BruteForce) and as
+// the baseline for the speedup benchmarks; production callers should use
+// Simulate.
+func SimulateReference(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (*WriteDist, error) {
+	if err := cfg.Validate(tr, strat.Hw); err != nil {
+		return nil, err
+	}
+	dist := NewWriteDist(cfg.Rows, tr.Lanes)
+	dist.Iterations = cfg.Iterations
+	dist.StepsPerIteration = tr.Steps(cfg.PresetOutputs)
+
+	arch := cfg.Rows
+	if strat.Hw {
+		arch--
+	}
+	sched := mapping.Schedule{
+		Rows: arch, Lanes: tr.Lanes,
+		Within: strat.Within, Between: strat.Between,
+		Seed: cfg.Seed, ShiftStep: cfg.ShiftStep,
+	}
+	if strat.Hw {
+		simulateHwReference(tr, cfg, sched, dist)
+	} else {
+		simulateSoftware(tr, cfg, sched, dist)
+	}
+	return dist, nil
+}
+
+// simulateHwReference replays the hardware renamer exactly, epoch by
+// epoch, with a fresh full replay per epoch.
+func simulateHwReference(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	lanes := tr.Lanes
+	ops, maskLanes := flattenOps(tr, cfg.PresetOutputs)
+
+	hw := mapping.NewHwRenamer(cfg.Rows)
+	// hist[mask][physRow] accumulated over one epoch.
+	hist := make([][]uint64, len(tr.Masks))
+	for i := range hist {
+		hist[i] = make([]uint64, cfg.Rows)
+	}
+
+	every := cfg.recompileEvery()
+	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
+		n := every
+		if start+n > cfg.Iterations {
+			n = cfg.Iterations - start
+		}
+		within := sched.EpochWithin(epoch)
+		between := sched.EpochBetween(epoch)
+		hw.Reset()
+		for i := range hist {
+			for r := range hist[i] {
+				hist[i][r] = 0
+			}
+		}
+		for it := 0; it < n; it++ {
+			for _, op := range ops {
+				arch := within.Apply(int(op.row))
+				var phys int
+				if op.full {
+					phys = hw.RenameOnWrite(arch)
+				} else {
+					phys = hw.Lookup(arch)
+				}
+				hist[op.mask][phys] += uint64(op.w)
+			}
+		}
+		for m := range hist {
+			lanesOf := maskLanes[m]
+			for r := 0; r < cfg.Rows; r++ {
+				c := hist[m][r]
+				if c == 0 {
+					continue
+				}
+				dst := dist.Counts[r*lanes:]
+				for _, l := range lanesOf {
+					dst[between.Apply(l)] += c
+				}
+			}
+		}
+	}
+}

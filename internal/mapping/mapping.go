@@ -107,6 +107,39 @@ func (p *Perm) Inverse() *Perm {
 	return inv
 }
 
+// Equal reports whether two permutations are the same bijection.
+func (p *Perm) Equal(o *Perm) bool {
+	if p == o {
+		return true
+	}
+	if o == nil || len(p.l2p) != len(o.l2p) {
+		return false
+	}
+	for i, v := range p.l2p {
+		if o.l2p[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the mapping. The wear
+// engine keys its per-epoch histogram cache on it; equal permutations
+// share a fingerprint, and colliding fingerprints must be resolved with
+// Equal before a cached result is reused.
+func (p *Perm) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range p.l2p {
+		h ^= uint64(uint32(v))
+		h *= prime64
+	}
+	return h
+}
+
 // IsBijection verifies the permutation hits every address exactly once.
 func (p *Perm) IsBijection() bool {
 	seen := make([]bool, len(p.l2p))

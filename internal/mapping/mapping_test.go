@@ -249,3 +249,49 @@ func TestHwRenamerTooSmallPanics(t *testing.T) {
 	}()
 	NewHwRenamer(1)
 }
+
+func TestPermEqual(t *testing.T) {
+	a := ShiftPerm(16, 8)
+	b := ShiftPerm(16, 24) // 24 mod 16 == 8
+	if !a.Equal(b) {
+		t.Error("identical rotations reported unequal")
+	}
+	if !a.Equal(a) {
+		t.Error("perm not equal to itself")
+	}
+	if a.Equal(nil) {
+		t.Error("perm equal to nil")
+	}
+	if a.Equal(ShiftPerm(16, 1)) {
+		t.Error("distinct rotations reported equal")
+	}
+	if a.Equal(ShiftPerm(8, 0)) {
+		t.Error("different domain sizes reported equal")
+	}
+}
+
+func TestPermFingerprint(t *testing.T) {
+	a := ShiftPerm(64, 8)
+	b := ShiftPerm(64, 8+64)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal perms have different fingerprints")
+	}
+	// All 64 rotations of a 64-address domain must fingerprint uniquely
+	// (no collision in the exact family the Bs memoization relies on).
+	seen := map[uint64]int{}
+	for k := 0; k < 64; k++ {
+		fp := ShiftPerm(64, k).Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("rotation %d collides with rotation %d", k, prev)
+		}
+		seen[fp] = k
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := RandomPerm(32, rng)
+		q := RandomPerm(32, rng)
+		if p.Equal(q) != (p.Fingerprint() == q.Fingerprint()) && p.Equal(q) {
+			t.Error("equal perms must share fingerprints")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// wear engine (internal/core) and the strategy sweep (pim.Sweep). It
+// replaces ad-hoc unbounded goroutine fan-out: callers state a worker
+// budget, the pool clamps it to the job count, and work items are pulled
+// off a shared counter so long items do not stall short ones.
+//
+// The pool makes no ordering guarantees between items; callers that need
+// deterministic results must make each item's effect independent of
+// scheduling (the wear engine does this with per-worker accumulation
+// buffers merged by commutative uint64 addition).
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size normalizes a requested worker count against a job count: values
+// ≤ 0 select runtime.GOMAXPROCS(0), and the result never exceeds jobs
+// (and is at least 1).
+func Size(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if jobs < workers {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Share divides a total worker budget among outer concurrent tasks,
+// granting each at least one worker. Nested parallel stages (a sweep of
+// strategies, each running a parallel engine) use it to keep the total
+// goroutine count near the budget instead of multiplying.
+func Share(total, outer int) int {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	n := total / outer
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines (≤ 0 selects GOMAXPROCS). With an effective pool size of 1
+// it runs inline on the calling goroutine, spawning nothing.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker slot id (0..size-1) passed
+// alongside each item, so callers can keep per-worker accumulation
+// buffers without locking. Slot 0 is always used; when the pool runs
+// inline every item sees slot 0.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	w := Size(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for slot := 0; slot < w; slot++ {
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(slot, i)
+			}
+		}(slot)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,85 @@
+package pool_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"pimendure/internal/pool"
+)
+
+func TestSize(t *testing.T) {
+	cases := []struct{ workers, jobs, want int }{
+		{4, 10, 4},
+		{10, 4, 4},
+		{1, 100, 1},
+		{4, 0, 1},
+	}
+	for _, c := range cases {
+		if got := pool.Size(c.workers, c.jobs); got != c.want {
+			t.Errorf("Size(%d, %d) = %d, want %d", c.workers, c.jobs, got, c.want)
+		}
+	}
+	if got := pool.Size(0, 1<<30); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Size(0, big) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestShare(t *testing.T) {
+	if got := pool.Share(8, 4); got != 2 {
+		t.Errorf("Share(8, 4) = %d, want 2", got)
+	}
+	if got := pool.Share(4, 18); got != 1 {
+		t.Errorf("Share(4, 18) = %d, want 1", got)
+	}
+	if got := pool.Share(8, 0); got != 8 {
+		t.Errorf("Share(8, 0) = %d, want 8", got)
+	}
+}
+
+func TestForEachVisitsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		var visited [n]atomic.Int32
+		pool.ForEach(workers, n, func(i int) {
+			visited[i].Add(1)
+		})
+		for i := range visited {
+			if v := visited[i].Load(); v != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSlotsBounded(t *testing.T) {
+	const workers, n = 3, 100
+	var used [workers]atomic.Int32
+	var sum atomic.Int64
+	pool.ForEachWorker(workers, n, func(slot, i int) {
+		if slot < 0 || slot >= workers {
+			t.Errorf("slot %d out of range", slot)
+			return
+		}
+		used[slot].Add(1)
+		sum.Add(int64(i))
+	})
+	var total int32
+	for s := range used {
+		total += used[s].Load()
+	}
+	if total != n {
+		t.Errorf("processed %d items, want %d", total, n)
+	}
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Errorf("item sum %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	pool.ForEach(4, 0, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"pimendure/internal/array"
 	"pimendure/internal/baseline"
@@ -35,6 +34,7 @@ import (
 	"pimendure/internal/lifetime"
 	"pimendure/internal/mapping"
 	"pimendure/internal/opt"
+	"pimendure/internal/pool"
 	"pimendure/internal/program"
 	"pimendure/internal/render"
 	"pimendure/internal/stats"
@@ -185,6 +185,11 @@ type RunConfig struct {
 	RecompileEvery int
 	// Seed drives the random-shuffle permutation sequence.
 	Seed int64
+	// Workers bounds the goroutines used by Sweep (across strategies)
+	// and by the +Hw wear engine (across recompile epochs); ≤ 0 selects
+	// runtime.GOMAXPROCS(0). Results are bit-identical for every worker
+	// count.
+	Workers int
 }
 
 // Result is the outcome of one endurance run.
@@ -217,6 +222,7 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 		Iterations:     rc.Iterations,
 		RecompileEvery: rc.RecompileEvery,
 		Seed:           rc.Seed,
+		Workers:        rc.Workers,
 	}
 	dist, err := core.Simulate(b.Trace, sim, s)
 	if err != nil {
@@ -239,23 +245,27 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 	}, nil
 }
 
-// Sweep runs the benchmark under every given strategy concurrently and
-// returns results in the input order. A nil strategy list means all 18.
+// Sweep runs the benchmark under every given strategy and returns
+// results in the input order. A nil strategy list means all 18.
+//
+// Strategies are sharded over a bounded pool of rc.Workers goroutines
+// (≤ 0 selects GOMAXPROCS) instead of one goroutine per strategy: the
+// paper-scale sweep (18 strategies × 1024×1024 arrays) would otherwise
+// oversubscribe the CPU and hold 18 histogram sets live at once. The
+// worker budget is shared with the inner +Hw engine, so the total
+// goroutine count stays near rc.Workers regardless of nesting.
 func Sweep(b *Benchmark, opt Options, rc RunConfig, strategies []Strategy, tech Technology) ([]*Result, error) {
 	if strategies == nil {
 		strategies = AllStrategies()
 	}
 	results := make([]*Result, len(strategies))
 	errs := make([]error, len(strategies))
-	var wg sync.WaitGroup
-	for i, s := range strategies {
-		wg.Add(1)
-		go func(i int, s Strategy) {
-			defer wg.Done()
-			results[i], errs[i] = Run(b, opt, rc, s, tech)
-		}(i, s)
-	}
-	wg.Wait()
+	workers := pool.Size(rc.Workers, len(strategies))
+	inner := rc
+	inner.Workers = pool.Share(rc.Workers, workers)
+	pool.ForEach(workers, len(strategies), func(i int) {
+		results[i], errs[i] = Run(b, opt, inner, strategies[i], tech)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

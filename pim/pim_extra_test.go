@@ -164,3 +164,54 @@ func TestBNNLayerThroughFacade(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Sweep's bounded pool must return exactly what per-strategy Run calls
+// return, bit for bit, for any worker budget — including budgets smaller
+// and larger than the strategy count.
+func TestSweepBoundedWorkersMatchesRun(t *testing.T) {
+	opt := testOptions()
+	b, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []pim.Strategy{
+		pim.StaticStrategy,
+		{Within: pim.Random, Between: pim.ByteShift},
+		{Within: pim.ByteShift, Between: pim.Random, Hw: true},
+		{Within: pim.Random, Between: pim.Random, Hw: true},
+	}
+	var baseline []*pim.Result
+	for _, workers := range []int{1, 2, 32} {
+		rc := testRun()
+		rc.Workers = workers
+		results, err := pim.Sweep(b, opt, rc, strategies, pim.MRAM())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(strategies) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Strategy != strategies[i] {
+				t.Errorf("workers=%d: result %d out of order", workers, i)
+			}
+			single, err := pim.Run(b, opt, rc, strategies[i], pim.MRAM())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Dist.Equal(single.Dist) {
+				t.Errorf("workers=%d: sweep result for %s differs from direct Run",
+					workers, strategies[i].Name())
+			}
+		}
+		if baseline == nil {
+			baseline = results
+		} else {
+			for i := range results {
+				if !results[i].Dist.Equal(baseline[i].Dist) {
+					t.Errorf("worker budget changed the %s distribution", strategies[i].Name())
+				}
+			}
+		}
+	}
+}
