@@ -19,6 +19,7 @@ import (
 	"pimendure/internal/core"
 	"pimendure/internal/faults"
 	"pimendure/internal/lifetime"
+	"pimendure/internal/obs"
 	"pimendure/internal/program"
 	"pimendure/internal/stats"
 	"pimendure/internal/synth"
@@ -475,6 +476,39 @@ func BenchmarkHwEngine(b *testing.B) {
 			eng += time.Since(t0)
 		}
 		b.ReportMetric(float64(ref)/float64(eng), "speedup_x")
+	})
+	// The same sweep with the observability layer recording — what a CLI
+	// run pays for its manifest. Disabled-mode cost (the "engine" run
+	// above) is the hot path and must stay within the <2% budget; this
+	// sub-benchmark quantifies the enabled-mode delta as obs_overhead_x.
+	b.Run("engine-obs", func(b *testing.B) {
+		obs.Reset()
+		obs.Enable()
+		defer func() {
+			obs.Disable()
+			obs.Reset()
+		}()
+		for i := 0; i < b.N; i++ {
+			sweep(b, sim, core.Simulate)
+		}
+	})
+	b.Run("obs-overhead", func(b *testing.B) {
+		defer func() {
+			obs.Disable()
+			obs.Reset()
+		}()
+		var off, on time.Duration
+		for i := 0; i < b.N; i++ {
+			obs.Disable()
+			t0 := time.Now()
+			sweep(b, sim, core.Simulate)
+			off += time.Since(t0)
+			obs.Enable()
+			t0 = time.Now()
+			sweep(b, sim, core.Simulate)
+			on += time.Since(t0)
+		}
+		b.ReportMetric(float64(on)/float64(off), "obs_overhead_x")
 	})
 	// Cross-check on the benchmark's own inputs: the two engines must be
 	// bit-identical here too, or the speedup numbers are meaningless.

@@ -28,6 +28,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"pimendure/internal/obs"
 )
 
 type config struct {
@@ -48,6 +50,7 @@ func main() {
 	log.SetPrefix("endurance-report: ")
 
 	var cfg config
+	run := obs.NewRun("endurance-report", flag.CommandLine)
 	quick := flag.Bool("quick", false, "low-fidelity pass (2 000 iterations, 100 Monte Carlo trials)")
 	flag.StringVar(&cfg.out, "out", "out", "output directory")
 	flag.IntVar(&cfg.lanes, "lanes", 1024, "array lanes (columns)")
@@ -64,39 +67,55 @@ func main() {
 		cfg.iters = 2000
 		cfg.trials = 100
 	}
+	if err := run.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	if err := os.MkdirAll(cfg.out, 0o755); err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
 	steps := []struct {
+		key  string // manifest stage name (under "report/")
 		name string
 		fn   func(config) error
 	}{
-		{"E1  writes per operation", runE1},
-		{"E2  upper bounds", runE2},
-		{"E3  Fig 5 lane profile", runFig5},
-		{"E4  Table 2 shuffle overhead", runTable2},
-		{"E5  Fig 11b failed cells", runFig11},
-		{"E13 lane sets", runLaneSets},
-		{"E6-E10 strategy sweeps (Figs 14-17, Table 3, E14)", runSweeps},
-		{"E11 recompile-frequency sweep", runRecompileSweep},
-		{"E12 correctness demos", runE12},
-		{"E15 failure timeline", runFailureTimeline},
-		{"E16 Fig 8 byte-access cost", runAccessCost},
-		{"E17 energy analysis", runEnergy},
-		{"E18 endurance variability", runVariability},
-		{"E19 chip-level lifetime", runChip},
-		{"E20 graceful degradation", runGraceful},
+		{"e1", "E1  writes per operation", runE1},
+		{"e2", "E2  upper bounds", runE2},
+		{"fig5", "E3  Fig 5 lane profile", runFig5},
+		{"table2", "E4  Table 2 shuffle overhead", runTable2},
+		{"fig11", "E5  Fig 11b failed cells", runFig11},
+		{"e13", "E13 lane sets", runLaneSets},
+		{"sweeps", "E6-E10 strategy sweeps (Figs 14-17, Table 3, E14)", runSweeps},
+		{"e11", "E11 recompile-frequency sweep", runRecompileSweep},
+		{"e12", "E12 correctness demos", runE12},
+		{"e15", "E15 failure timeline", runFailureTimeline},
+		{"e16", "E16 Fig 8 byte-access cost", runAccessCost},
+		{"e17", "E17 energy analysis", runEnergy},
+		{"e18", "E18 endurance variability", runVariability},
+		{"e19", "E19 chip-level lifetime", runChip},
+		{"e20", "E20 graceful degradation", runGraceful},
 	}
+	report := obs.StartSpan("report")
 	for _, s := range steps {
 		t := time.Now()
+		sp := report.Child(s.key)
 		if err := s.fn(cfg); err != nil {
 			log.Fatalf("%s: %v", s.name, err)
 		}
+		sp.End()
 		log.Printf("%-52s %s", s.name, time.Since(t).Round(time.Millisecond))
 	}
+	report.End()
 	log.Printf("done in %s, results in %s/", time.Since(start).Round(time.Millisecond), cfg.out)
+	if err := run.Finish(cfg.out, map[string]any{
+		"out": cfg.out, "lanes": cfg.lanes, "rows": cfg.rows,
+		"iters": cfg.iters, "recompile": cfg.recompile, "trials": cfg.trials,
+		"heatdim": cfg.heatDim, "heatscale": cfg.heatScale, "workers": cfg.workers,
+		"quick": *quick,
+	}, cfg.seed, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // writeFile creates a file under the output directory and streams fn to it.

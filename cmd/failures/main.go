@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"pimendure/internal/faults"
+	"pimendure/internal/obs"
 	"pimendure/internal/report"
 )
 
@@ -16,11 +17,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("failures: ")
 
+	run := obs.NewRun("failures", flag.CommandLine)
 	lanes := flag.Int("lanes", 1024, "array lanes (the dimension a failure poisons)")
 	rows := flag.Int("rows", 256, "array rows for the Monte Carlo")
 	trials := flag.Int("trials", 500, "Monte Carlo trials")
 	seed := flag.Int64("seed", 1, "random seed")
+	manifestDir := flag.String("out", "out", "directory for the run manifest")
 	flag.Parse()
+	if err := run.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	t := report.NewTable(fmt.Sprintf("Fig. 11b — usable fraction of each lane, %d-lane array", *lanes),
 		"failed cells (%)", "usable (Monte Carlo)", "usable (closed form)")
@@ -48,6 +54,12 @@ func main() {
 			fmt.Sprint(res.LatencyFactor), report.Fixed(res.EffectiveCapacity, 4))
 	}
 	if err := ls.WriteMarkdown(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := run.Finish(*manifestDir, map[string]any{
+		"lanes": *lanes, "rows": *rows, "trials": *trials,
+	}, *seed, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
 	"pimendure/pim"
 )
 
@@ -17,6 +18,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("heatmap: ")
 
+	run := obs.NewRun("heatmap", flag.CommandLine)
 	benchName := flag.String("bench", "mult", "benchmark: mult, dot, conv")
 	lanes := flag.Int("lanes", 1024, "array lanes")
 	rows := flag.Int("rows", 1024, "array rows")
@@ -30,7 +32,21 @@ func main() {
 	pngPath := flag.String("png", "heatmap.png", "PNG output path (empty to skip)")
 	pgmPath := flag.String("pgm", "", "PGM output path (empty to skip)")
 	load := flag.String("load", "", "render a saved distribution (pimsim -dumpdist) instead of simulating")
+	manifestDir := flag.String("out", "out", "directory for the run manifest")
 	flag.Parse()
+	if err := run.Start(); err != nil {
+		log.Fatal(err)
+	}
+	finish := func() {
+		if err := run.Finish(*manifestDir, map[string]any{
+			"bench": *benchName, "lanes": *lanes, "rows": *rows,
+			"within": *within, "between": *between, "hw": *hw,
+			"iters": *iters, "recompile": *recompile,
+			"dim": *dim, "scale": *scale, "load": *load,
+		}, 1, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *load != "" {
 		f, err := os.Open(*load)
@@ -47,6 +63,7 @@ func main() {
 			log.Fatal(err)
 		}
 		emit(grid, *pngPath, *pgmPath, *scale)
+		finish()
 		return
 	}
 
@@ -90,6 +107,7 @@ func main() {
 		log.Fatal(err)
 	}
 	emit(grid, *pngPath, *pgmPath, *scale)
+	finish()
 }
 
 // emit renders a normalized grid to the requested files.

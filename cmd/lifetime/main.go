@@ -13,6 +13,7 @@ import (
 
 	"pimendure/internal/device"
 	"pimendure/internal/lifetime"
+	"pimendure/internal/obs"
 	"pimendure/internal/report"
 	"pimendure/internal/synth"
 )
@@ -21,12 +22,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lifetime: ")
 
+	run := obs.NewRun("lifetime", flag.CommandLine)
 	rows := flag.Int("rows", 1024, "array rows")
 	lanes := flag.Int("lanes", 1024, "array lanes")
 	bits := flag.Int("bits", 32, "multiply precision for the Eq. 1 write cost")
 	maxWrites := flag.Float64("maxwrites", 0, "Eq. 4: hottest cell's writes per iteration (0 = skip)")
 	steps := flag.Int("steps", 0, "Eq. 4: sequential steps per iteration")
+	manifestDir := flag.String("out", "out", "directory for the run manifest")
 	flag.Parse()
+	if err := run.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	writesPerMult := float64(synth.MultiplierGates(synth.NAND, *bits))
 	t := report.NewTable(
@@ -57,6 +63,13 @@ func main() {
 		if err := t4.WriteMarkdown(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if err := run.Finish(*manifestDir, map[string]any{
+		"rows": *rows, "lanes": *lanes, "bits": *bits,
+		"maxwrites": *maxWrites, "steps": *steps,
+	}, 0, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pimendure/internal/obs"
 	"pimendure/internal/program"
 	"pimendure/internal/report"
 	"pimendure/internal/synth"
@@ -21,8 +22,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("overhead: ")
 
+	run := obs.NewRun("overhead", flag.CommandLine)
 	precisions := flag.String("bits", "4,8,16,32,64", "comma-separated precisions")
+	manifestDir := flag.String("out", "out", "directory for the run manifest")
 	flag.Parse()
+	if err := run.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	var bits []int
 	for _, s := range strings.Split(*precisions, ",") {
@@ -46,6 +52,10 @@ func main() {
 			fmt.Sprint(synthesizedGates(b, false)))
 	}
 	if err := t.WriteMarkdown(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := run.Finish(*manifestDir, map[string]any{"bits": *precisions}, 0, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

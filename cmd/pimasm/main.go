@@ -22,6 +22,7 @@ import (
 	"pimendure/internal/asm"
 	"pimendure/internal/core"
 	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
 	"pimendure/internal/opt"
 	"pimendure/internal/program"
 	"pimendure/internal/stats"
@@ -57,6 +58,16 @@ func main() {
 	}
 }
 
+// finishObs completes a subcommand's observability lifecycle: when the
+// subcommand succeeded it writes the run manifest (and the -metrics
+// table) under out/, like every other CLI.
+func finishObs(run *obs.Run, sub string, err error) error {
+	if err != nil {
+		return err
+	}
+	return run.Finish("out", map[string]any{"subcommand": sub}, 0, os.Stdout)
+}
+
 func loadTrace(fs *flag.FlagSet) (*program.Trace, error) {
 	if fs.NArg() != 1 {
 		return nil, fmt.Errorf("expected one assembly file argument (flags go before the file)")
@@ -71,11 +82,15 @@ func loadTrace(fs *flag.FlagSet) (*program.Trace, error) {
 
 func cmdDump(args []string) error {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	run := obs.NewRun("pimasm", fs)
 	benchName := fs.String("bench", "mult", "kernel: mult, dot, conv, add, bnn")
 	bits := fs.Int("bits", 8, "operand precision")
 	lanes := fs.Int("lanes", 16, "lanes")
 	rows := fs.Int("rows", 512, "rows")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := run.Start(); err != nil {
 		return err
 	}
 	opt := pim.Options{Lanes: *lanes, Rows: *rows, PresetOutputs: true, NANDBasis: true}
@@ -102,12 +117,16 @@ func cmdDump(args []string) error {
 	if err != nil {
 		return err
 	}
-	return asm.Print(os.Stdout, bench.Trace)
+	return finishObs(run, "dump", asm.Print(os.Stdout, bench.Trace))
 }
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	run := obs.NewRun("pimasm", fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := run.Start(); err != nil {
 		return err
 	}
 	tr, err := loadTrace(fs)
@@ -116,12 +135,16 @@ func cmdCheck(args []string) error {
 	}
 	fmt.Printf("ok: %d lanes, %d bit addresses, %d ops, %d masks\n",
 		tr.Lanes, tr.LaneBits, len(tr.Ops), len(tr.Masks))
-	return nil
+	return finishObs(run, "check", nil)
 }
 
 func cmdOpt(args []string) error {
 	fs := flag.NewFlagSet("opt", flag.ExitOnError)
+	run := obs.NewRun("pimasm", fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := run.Start(); err != nil {
 		return err
 	}
 	tr, err := loadTrace(fs)
@@ -131,13 +154,17 @@ func cmdOpt(args []string) error {
 	opted, st := opt.Optimize(tr, opt.All())
 	log.Printf("removed %d gates, rewrote %d inputs (%d passes)",
 		st.RemovedGates, st.RewrittenInputs, st.Passes)
-	return asm.Print(os.Stdout, opted)
+	return finishObs(run, "opt", asm.Print(os.Stdout, opted))
 }
 
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	run := obs.NewRun("pimasm", fs)
 	preset := fs.Bool("preset", true, "charge CRAM output presets")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := run.Start(); err != nil {
 		return err
 	}
 	tr, err := loadTrace(fs)
@@ -153,14 +180,18 @@ func cmdStats(args []string) error {
 	fmt.Printf("cell writes:      %d\n", st.CellWrites)
 	fmt.Printf("cell reads:       %d\n", st.CellReads)
 	fmt.Printf("lane utilization: %.2f%%\n", st.Utilization*100)
-	return nil
+	return finishObs(run, "stats", nil)
 }
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	run := obs.NewRun("pimasm", fs)
 	rows := fs.Int("rows", 0, "physical rows (0 = trace footprint + 1)")
 	pattern := fs.Int64("pattern", 0, "data pattern seed (slot values are pseudorandom bits)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := run.Start(); err != nil {
 		return err
 	}
 	tr, err := loadTrace(fs)
@@ -193,17 +224,21 @@ func cmdRun(args []string) error {
 		}
 		fmt.Println()
 	}
-	return nil
+	return finishObs(run, "run", nil)
 }
 
 func cmdWear(args []string) error {
 	fs := flag.NewFlagSet("wear", flag.ExitOnError)
+	run := obs.NewRun("pimasm", fs)
 	rows := fs.Int("rows", 0, "physical rows (0 = trace footprint + 1)")
 	iters := fs.Int("iters", 1000, "iterations")
 	within := fs.String("within", "St", "within-lane strategy")
 	between := fs.String("between", "St", "between-lane strategy")
 	hw := fs.Bool("hw", false, "hardware renaming")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := run.Start(); err != nil {
 		return err
 	}
 	tr, err := loadTrace(fs)
@@ -228,7 +263,7 @@ func cmdWear(args []string) error {
 	fmt.Printf("max writes/iter: %.3f\n", dist.MaxPerIteration())
 	fmt.Printf("max/mean:        %.3f\n", stats.MaxOverMean(dist.Counts))
 	fmt.Printf("Gini:            %.3f\n", stats.Gini(dist.Counts))
-	return nil
+	return finishObs(run, "wear", nil)
 }
 
 func parseStrategy(within, between string, hw bool) (core.StrategyConfig, error) {

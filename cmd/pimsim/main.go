@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
 	"pimendure/internal/stats"
 	"pimendure/pim"
 )
@@ -21,6 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pimsim: ")
 
+	run := obs.NewRun("pimsim", flag.CommandLine)
 	benchName := flag.String("bench", "mult", "benchmark: mult, dot, conv, add")
 	bits := flag.Int("bits", 32, "operand precision (8 for conv by default)")
 	lanes := flag.Int("lanes", 1024, "array lanes")
@@ -35,7 +37,11 @@ func main() {
 	pngPath := flag.String("png", "", "write distribution heatmap PNG to this path")
 	distPath := flag.String("dumpdist", "", "save the raw write distribution (JSON) to this path")
 	verify := flag.Bool("verify", false, "also run one bit-accurate iteration and check results")
+	manifestDir := flag.String("out", "out", "directory for the run manifest")
 	flag.Parse()
+	if err := run.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	opt := pim.Options{Lanes: *lanes, Rows: *rows, PresetOutputs: true, NANDBasis: true}
 	bench, err := makeBench(opt, *benchName, *bits)
@@ -116,6 +122,14 @@ func main() {
 			log.Fatalf("functional verification FAILED: %v", err)
 		}
 		fmt.Println("functional check: exact")
+	}
+
+	if err := run.Finish(*manifestDir, map[string]any{
+		"bench": *benchName, "bits": *bits, "lanes": *lanes, "rows": *rows,
+		"within": *within, "between": *between, "hw": *hw,
+		"iters": *iters, "recompile": *recompile, "tech": *tech,
+	}, *seed, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -3,11 +3,35 @@
 // instruction-level-accurate simulator and analysis toolkit for the write
 // endurance of digital processing-in-memory on nonvolatile arrays.
 //
-// The public API lives in package pimendure/pim. Executables under cmd/
-// regenerate every table and figure of the paper's evaluation; runnable
-// examples live under examples/. See README.md for a tour, DESIGN.md for
-// the system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+// The public API lives in package pimendure/pim; the runnable Example in
+// this package walks the whole pipeline (compile → verify → sweep → rank)
+// in a dozen lines. The flow mirrors the paper's evaluation:
 //
-// The root package only anchors the module-level documentation and the
-// benchmark harness in bench_test.go.
+//	workload kernel  (internal/workloads, pim/kernel)
+//	    │ gate-level synthesis (internal/synth)
+//	    ▼
+//	program trace    (internal/program — logical-bit IR)
+//	    │ logical→physical mapping (internal/mapping: St/Ra/Bs ± Hw renamer)
+//	    ▼
+//	wear engines     (internal/core — factorized fast path, memoized
+//	    │             parallel +Hw replay, brute-force cross-validation)
+//	    ▼
+//	write dists      (core.WriteDist) → lifetime (internal/lifetime, Eq. 4)
+//	    │
+//	    ▼
+//	stats & render   (internal/stats, internal/render, internal/report)
+//
+// Every run is observable through internal/obs: stage-scoped timers,
+// atomic counters (epochs, memoization hits, cell writes accumulated)
+// and a JSON run manifest that each CLI writes next to its artifacts —
+// see docs/ARCHITECTURE.md for the layer-by-layer walk and
+// docs/ARTIFACTS.md for the out/-file ↔ paper-figure map.
+//
+// Executables under cmd/ regenerate every table and figure of the
+// paper's evaluation; runnable examples live under examples/. See
+// README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package anchors the module-level documentation, the overview
+// Example, and the benchmark harness in bench_test.go.
 package pimendure

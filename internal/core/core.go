@@ -31,7 +31,27 @@ import (
 
 	"pimendure/internal/array"
 	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
 	"pimendure/internal/program"
+)
+
+// Observability handles (no-ops until obs.Enable). Recording happens at
+// run/epoch/job granularity only — never inside the per-op replay loop —
+// so a disabled build stays within BenchmarkHwEngine's <2% budget.
+var (
+	// obsEpochs counts recompile epochs simulated (software and +Hw).
+	obsEpochs = obs.GetCounter("core.epochs")
+	// obsHwReplays counts unique (within-permutation, length) replay
+	// jobs the memoized +Hw engine actually executed.
+	obsHwReplays = obs.GetCounter("core.hw.replays")
+	// obsHwMemoHits counts epochs served from an already-replayed job.
+	obsHwMemoHits = obs.GetCounter("core.hw.memo_hits")
+	// obsHwReplayIters counts iterations replayed op-by-op (the work
+	// memoization saves shows up as epochs×epochLen − this).
+	obsHwReplayIters = obs.GetCounter("core.hw.replay_iters")
+	// obsWrites totals cell writes accumulated into distributions; a
+	// run's manifest entry equals the sum of its WriteDist.Total()s.
+	obsWrites = obs.GetCounter("core.writes")
 )
 
 // StrategyConfig is one of the paper's load-balancing configurations,
@@ -215,6 +235,8 @@ func Simulate(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (*WriteDis
 	if err := cfg.Validate(tr, strat.Hw); err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("core.simulate")
+	defer sp.End()
 	dist := NewWriteDist(cfg.Rows, tr.Lanes)
 	dist.Iterations = cfg.Iterations
 	dist.StepsPerIteration = tr.Steps(cfg.PresetOutputs)
@@ -233,6 +255,9 @@ func Simulate(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (*WriteDis
 	} else {
 		simulateSoftware(tr, cfg, sched, dist)
 	}
+	if obs.Enabled() {
+		obsWrites.Add(int64(dist.Total()))
+	}
 	return dist, nil
 }
 
@@ -240,6 +265,8 @@ func Simulate(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (*WriteDis
 // M0[r][l] is constant; each epoch adds epochLen·M0 permuted by that
 // epoch's maps.
 func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	sp := obs.StartSpan("core.simulate/sw-accumulate")
+	defer sp.End()
 	lanes := tr.Lanes
 	// One-iteration logical write matrix, factorized by mask then
 	// materialized once over the trace's (small) logical row footprint.
@@ -270,7 +297,9 @@ func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, 
 	}
 
 	every := cfg.recompileEvery()
+	epochs := 0
 	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
+		epochs++
 		n := every
 		if start+n > cfg.Iterations {
 			n = cfg.Iterations - start
@@ -288,6 +317,7 @@ func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, 
 			}
 		}
 	}
+	obsEpochs.Add(int64(epochs))
 }
 
 // BruteForce accumulates the same distribution by executing every

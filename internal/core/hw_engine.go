@@ -28,6 +28,7 @@ package core
 
 import (
 	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
 	"pimendure/internal/pool"
 	"pimendure/internal/program"
 )
@@ -143,11 +144,24 @@ func groupByBetween(sched mapping.Schedule, epochs []int) []betweenGroup {
 // (within-permutation, epoch length) group, sharded over the bounded
 // worker pool.
 func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	sp := obs.StartSpan("core.simulate/hw-replay")
+	defer sp.End()
 	lanes := tr.Lanes
 	rows := cfg.Rows
 	ops, maskLanes := flattenOps(tr, cfg.PresetOutputs)
 	nMasks := len(tr.Masks)
+	plan := sp.Child("plan")
 	jobs := planHwEpochs(cfg, sched)
+	plan.End()
+	// Memoization accounting: every epoch beyond a job's representative
+	// is a replay the grouping saved.
+	epochs := 0
+	for _, job := range jobs {
+		epochs += len(job.epochs)
+	}
+	obsEpochs.Add(int64(epochs))
+	obsHwReplays.Add(int64(len(jobs)))
+	obsHwMemoHits.Add(int64(epochs - len(jobs)))
 	workers := pool.Size(cfg.workers(), len(jobs))
 
 	// Per-worker state, reused across the jobs a worker drains. Worker 0
@@ -169,6 +183,7 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 
 	pool.ForEachWorker(workers, len(jobs), func(slot, j int) {
 		job := jobs[j]
+		obsHwReplayIters.Add(int64(job.n))
 		hist := hists[slot]
 		for i := range hist {
 			hist[i] = 0

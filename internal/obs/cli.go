@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Run bundles the observability lifecycle every CLI shares: the -pprof
+// and -metrics flags, enabling the layer for the process, and emitting
+// the run manifest. Usage:
+//
+//	run := obs.NewRun("pimsim", flag.CommandLine)
+//	flag.Parse()
+//	run.Start()
+//	... work ...
+//	run.Finish("out", map[string]any{...}, seed, os.Stdout)
+type Run struct {
+	// PprofAddr, when non-empty, serves net/http/pprof on that address
+	// for the duration of the run (set by -pprof).
+	PprofAddr string
+	// Metrics makes Finish print the counter/stage table (set by
+	// -metrics).
+	Metrics bool
+
+	manifest *Manifest
+}
+
+// NewRun creates the lifecycle for the named command and registers the
+// -pprof and -metrics flags on fs (pass flag.CommandLine for
+// whole-process CLIs, or a subcommand's FlagSet).
+func NewRun(cmd string, fs *flag.FlagSet) *Run {
+	r := &Run{manifest: NewManifest(cmd)}
+	fs.StringVar(&r.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&r.Metrics, "metrics", false, "print the observability counter/stage table at exit")
+	return r
+}
+
+// Start enables the observability layer and, if -pprof was given, serves
+// the pprof handlers on a dedicated mux in the background. Call it right
+// after flag parsing. The listener is bound synchronously so a bad
+// address errors here; the server itself runs until the process exits.
+func (r *Run) Start() error {
+	Enable()
+	if r.PprofAddr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", r.PprofAddr)
+	if err != nil {
+		return fmt.Errorf("obs: pprof server on %s: %w", r.PprofAddr, err)
+	}
+	go func() { _ = http.Serve(ln, mux) }() // best-effort debug endpoint
+	return nil
+}
+
+// Finish completes the run: it folds the observability snapshot into the
+// manifest, writes manifest_<cmd>.json under outDir, and — when -metrics
+// was given — prints the counter/stage table to w. config is the CLI's
+// resolved configuration and seed its random seed (0 if none).
+func (r *Run) Finish(outDir string, config map[string]any, seed int64, w io.Writer) error {
+	r.manifest.Config = config
+	r.manifest.Seed = seed
+	r.manifest.Finish()
+	if r.Metrics {
+		if err := WriteTable(w); err != nil {
+			return err
+		}
+	}
+	if err := r.manifest.WriteFile(outDir); err != nil {
+		return fmt.Errorf("obs: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// Manifest exposes the run's manifest (tests inspect it; CLIs normally
+// only need Finish).
+func (r *Run) Manifest() *Manifest { return r.manifest }

@@ -1,0 +1,50 @@
+// Package obs is the zero-dependency observability layer of the
+// simulator: cheap atomic counters and max-watermark gauges, stage-scoped
+// timing spans, and a machine-readable run manifest. It exists so the
+// long 18-configuration sweeps behind the paper's headline figures are
+// not a black box — every run can report where wall-clock and cell
+// writes went, per stage, without perturbing the engines it observes.
+//
+// The layer is disabled by default and compiles to near-no-ops in that
+// state: Counter.Add, Gauge.Observe and StartSpan check one atomic
+// boolean and return, so a disabled build of the wear engine pays well
+// under the 2% BenchmarkHwEngine budget (the hot replay loop itself is
+// never instrumented — all recording happens at epoch/job granularity).
+// CLIs call Enable (via Run.Start) for the duration of a run; libraries
+// never toggle the flag themselves.
+//
+// Three primitives:
+//
+//   - Counter / Gauge: named monotonic totals (epochs simulated, memo
+//     hits, writes accumulated) and max-watermark levels (pool queue
+//     depth). Lock-free, safe for concurrent use from pool workers.
+//   - Span: a named stage timer. StartSpan("hw-replay") ... End()
+//     accumulates count and wall time under the stage name; Child
+//     derives "parent/child" names so stages nest across pim.Sweep →
+//     core engine → pool workers.
+//   - Manifest: a JSON record of one CLI run — command, config, seed,
+//     git describe, per-stage timings and counter totals — written to
+//     out/manifest_<cmd>.json so every artifact directory is
+//     self-describing.
+//
+// All state lives in one process-wide registry: Capture snapshots it,
+// Reset clears it (tests), WriteTable renders it for -metrics.
+package obs
+
+import "sync/atomic"
+
+// enabled gates every recording primitive. Manipulated only by
+// Enable/Disable; read with a single atomic load on each hot call.
+var enabled atomic.Bool
+
+// Enable turns recording on. Until the next Disable every Counter.Add,
+// Gauge.Observe and StartSpan records; intended to be called once at CLI
+// startup (Run.Start does it) or around a test/benchmark region.
+func Enable() { enabled.Store(true) }
+
+// Disable turns recording back off; outstanding Spans started while
+// enabled still record on End.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether the layer is currently recording.
+func Enabled() bool { return enabled.Load() }

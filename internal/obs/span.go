@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Timer accumulates completed spans for one stage name: a count and the
+// summed wall time. Timers are created implicitly by StartSpan and read
+// back through Capture/WriteTable; concurrent spans (pool workers timing
+// the same stage) accumulate atomically.
+type Timer struct {
+	name  string
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Name returns the stage name the timer accumulates under.
+func (t *Timer) Name() string { return t.name }
+
+// Count returns how many spans have completed on this timer.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Total returns the summed wall time of completed spans.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Span is one in-flight timing of a named stage. The zero Span (what
+// StartSpan returns while the layer is disabled) is valid: End and Child
+// on it are no-ops, so call sites need no enabled-checks of their own.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// StartSpan begins timing the named stage. Stage names are hierarchical
+// by convention — "pim.sweep", "core.simulate/hw" — and Child derives
+// them mechanically. Disabled, it returns the zero Span at the cost of
+// one atomic load.
+func StartSpan(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Span{t: getTimer(name), start: time.Now()}
+}
+
+// End stops the span and accumulates its wall time under the stage name.
+// End on the zero Span is a no-op; spans started while enabled record
+// even if the layer was disabled in between (the run is winding down).
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.count.Add(1)
+	s.t.ns.Add(int64(time.Since(s.start)))
+}
+
+// Child starts a span nested under this one: the stage name is
+// "<parent>/<name>", so captures and manifests sort children under
+// their parent stage. Child of the zero Span is the zero Span — a
+// disabled parent disables the whole subtree.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return Span{t: getTimer(s.t.name + "/" + name), start: time.Now()}
+}

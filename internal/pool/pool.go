@@ -14,6 +14,17 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pimendure/internal/obs"
+)
+
+// Observability handles (no-ops until obs.Enable): how many batches were
+// dispatched, how many items they carried, and the deepest queue any
+// single dispatch presented to the pool.
+var (
+	obsDispatches = obs.GetCounter("pool.dispatches")
+	obsJobs       = obs.GetCounter("pool.jobs")
+	obsQueueDepth = obs.GetGauge("pool.queue_depth")
 )
 
 // Size normalizes a requested worker count against a job count: values
@@ -63,6 +74,9 @@ func ForEach(workers, n int, fn func(i int)) {
 // inline every item sees slot 0.
 func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	w := Size(workers, n)
+	obsDispatches.Add(1)
+	obsJobs.Add(int64(n))
+	obsQueueDepth.Observe(int64(n))
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			fn(0, i)

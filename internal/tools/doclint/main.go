@@ -1,0 +1,155 @@
+// Command doclint is the repository's documentation linter: it fails
+// when a package directory contains an exported symbol without a doc
+// comment. `make ci` runs it over the public API surface (pim,
+// pim/kernel) and the instrumented engine packages (internal/core,
+// internal/pool, internal/obs) so godoc coverage is enforced, not
+// aspirational — the go vet-style stand-in for revive's `exported`
+// rule, with zero dependencies.
+//
+//	go run ./internal/tools/doclint ./pim ./internal/obs ...
+//
+// Rules (mirroring go/doc's association rules):
+//
+//   - An exported func or method needs a doc comment; methods on
+//     unexported receivers are exempt (they are not part of godoc).
+//   - An exported type, var or const needs a doc comment either on its
+//     own spec, as a trailing line comment, or on the enclosing
+//     parenthesized declaration group.
+//   - _test.go files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package dir>...")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		ps, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbol(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and returns one line per
+// undocumented exported symbol.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					lintFunc(d, report)
+				case *ast.GenDecl:
+					lintGen(d, report)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintFunc flags exported functions, and exported methods on exported
+// receivers, that carry no doc comment.
+func lintFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind, name := "function", d.Name.Name
+	if d.Recv != nil {
+		recv := receiverName(d.Recv)
+		if !ast.IsExported(recv) {
+			return // methods on unexported types are not godoc surface
+		}
+		kind, name = "method", recv+"."+d.Name.Name
+	}
+	report(d.Name.Pos(), kind, name)
+}
+
+// lintGen flags exported names in type/var/const declarations that are
+// covered by no doc comment at any level (group, spec, or trailing line
+// comment).
+func lintGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Doc != nil {
+		return // a group-level comment documents every spec in the block
+	}
+	kind := map[token.Token]string{token.TYPE: "type", token.VAR: "var", token.CONST: "const"}[d.Tok]
+	if kind == "" {
+		return // import declarations
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Name.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's base type name, unwrapping
+// pointers and generic instantiations.
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

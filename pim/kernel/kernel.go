@@ -38,6 +38,7 @@ const (
 	opGE
 )
 
+// String names the node kind for diagnostics ("input", "mul", ...).
 func (o Op) String() string {
 	return [...]string{"input", "mul", "add", "and", "or", "xor", "not", "ge"}[o]
 }
@@ -76,9 +77,13 @@ func Add(a, b *Node) *Node {
 	return &Node{op: opAdd, bits: w + 1, args: []*Node{a, b}}
 }
 
-// And, Or and Xor apply a bitwise gate; operand widths must match.
+// And applies a bitwise AND; operand widths must match.
 func And(a, b *Node) *Node { return &Node{op: opAnd, bits: a.bits, args: []*Node{a, b}} }
-func Or(a, b *Node) *Node  { return &Node{op: opOr, bits: a.bits, args: []*Node{a, b}} }
+
+// Or applies a bitwise OR; operand widths must match.
+func Or(a, b *Node) *Node { return &Node{op: opOr, bits: a.bits, args: []*Node{a, b}} }
+
+// Xor applies a bitwise XOR; operand widths must match.
 func Xor(a, b *Node) *Node { return &Node{op: opXor, bits: a.bits, args: []*Node{a, b}} }
 
 // Not inverts every bit.

@@ -1,0 +1,96 @@
+package pim_test
+
+import (
+	"testing"
+
+	"pimendure/internal/obs"
+	"pimendure/pim"
+)
+
+// The run manifest must report exactly what the API returned: with the
+// observability layer enabled, the core.writes counter accumulated over
+// an 18-configuration sweep equals the sum of the returned WriteDist
+// totals, the epoch counters are self-consistent with the run
+// parameters, and the stage timings cover one core.simulate per
+// strategy. (Not parallel: the obs registry is process-wide.)
+func TestManifestMatchesSweepResults(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+
+	opt := pim.Options{Lanes: 8, Rows: 96, PresetOutputs: true, NANDBasis: true}
+	bench, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := pim.RunConfig{Iterations: 23, RecompileEvery: 7, Seed: 3, Workers: 2}
+	results, err := pim.Sweep(bench, opt, rc, nil, pim.MRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.NewManifest("sweeptest")
+	m.Seed = rc.Seed
+	m.Finish()
+
+	var total uint64
+	for _, r := range results {
+		total += r.Dist.Total()
+	}
+	if got := m.Counters["core.writes"]; got != int64(total) {
+		t.Errorf("manifest core.writes = %d, sum of WriteDist totals = %d", got, total)
+	}
+
+	// 23 iterations at recompile-every-7 is 4 epochs per strategy, 18
+	// strategies; the 9 +Hw runs replay at most (and with these uneven
+	// epochs, exactly) what memoization could not collapse.
+	if got := m.Counters["core.epochs"]; got != 18*4 {
+		t.Errorf("manifest core.epochs = %d, want %d", got, 18*4)
+	}
+	if m.Counters["core.hw.replays"]+m.Counters["core.hw.memo_hits"] != 9*4 {
+		t.Errorf("hw replays (%d) + memo hits (%d) != hw epochs %d",
+			m.Counters["core.hw.replays"], m.Counters["core.hw.memo_hits"], 9*4)
+	}
+
+	stages := map[string]obs.Stage{}
+	for _, st := range m.Stages {
+		stages[st.Name] = st
+	}
+	if st := stages["core.simulate"]; st.Count != 18 {
+		t.Errorf("core.simulate stage count = %d, want 18", st.Count)
+	}
+	if st := stages["pim.sweep"]; st.Count != 1 {
+		t.Errorf("pim.sweep stage count = %d, want 1", st.Count)
+	}
+	if st := stages["pim.run"]; st.Count != 18 {
+		t.Errorf("pim.run stage count = %d, want 18", st.Count)
+	}
+	if m.Counters["pim.runs"] != 18 || m.Counters["pim.sweeps"] != 1 {
+		t.Errorf("pim counters wrong: runs=%d sweeps=%d",
+			m.Counters["pim.runs"], m.Counters["pim.sweeps"])
+	}
+}
+
+// Re-running the same sweep with the layer disabled must leave every
+// counter untouched — the disabled path is the one benchmarks take.
+func TestSweepRecordsNothingWhenDisabled(t *testing.T) {
+	obs.Reset()
+	obs.Disable()
+
+	opt := pim.Options{Lanes: 8, Rows: 96, PresetOutputs: true, NANDBasis: true}
+	bench, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := pim.RunConfig{Iterations: 10, RecompileEvery: 5, Seed: 1}
+	if _, err := pim.Sweep(bench, opt, rc, nil, pim.MRAM()); err != nil {
+		t.Fatal(err)
+	}
+	s := obs.Capture()
+	if len(s.Counters) != 0 || len(s.Stages) != 0 {
+		t.Errorf("disabled sweep recorded: %+v", s)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"pimendure/internal/faults"
 	"pimendure/internal/lifetime"
 	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
 	"pimendure/internal/opt"
 	"pimendure/internal/pool"
 	"pimendure/internal/program"
@@ -80,6 +81,13 @@ var (
 	RRAMEnergy   = energy.RRAM
 	PCMEnergy    = energy.PCM
 	EnergyModels = energy.Models
+)
+
+// Observability handles (no-ops until internal/obs is enabled; CLIs do
+// this via their -metrics/-pprof lifecycle).
+var (
+	obsRuns   = obs.GetCounter("pim.runs")
+	obsSweeps = obs.GetCounter("pim.sweeps")
 )
 
 // Software re-mapping strategies (§3.2).
@@ -216,6 +224,9 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("pim.run")
+	defer sp.End()
+	obsRuns.Add(1)
 	sim := core.SimConfig{
 		Rows:           opt.Rows,
 		PresetOutputs:  opt.PresetOutputs,
@@ -255,6 +266,9 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 // worker budget is shared with the inner +Hw engine, so the total
 // goroutine count stays near rc.Workers regardless of nesting.
 func Sweep(b *Benchmark, opt Options, rc RunConfig, strategies []Strategy, tech Technology) ([]*Result, error) {
+	sp := obs.StartSpan("pim.sweep")
+	defer sp.End()
+	obsSweeps.Add(1)
 	if strategies == nil {
 		strategies = AllStrategies()
 	}
