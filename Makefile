@@ -9,7 +9,7 @@ GO ?= go
 # API + instrumented engine layers). Enforced by `make doclint`.
 DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool
 
-.PHONY: all build vet test race bench report ci doclint
+.PHONY: all build vet test race bench bench-json report ci doclint
 
 all: build
 
@@ -38,8 +38,21 @@ doclint:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
+# Machine-readable benchmark snapshot: run the engine benchmark suite
+# (the root package's per-figure benchmarks) and convert the output to
+# BENCH_engine.json via internal/tools/benchjson. Committed so perf
+# claims (speedup_x of the closed-cycle +Hw replay and the bit-packed
+# array) are diffable; regenerate after engine changes with
+# BENCHTIME=5x or higher for steadier numbers.
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./internal/tools/benchjson -o BENCH_engine.json
+
 # Full paper reproduction (use -quick via REPORT_FLAGS for a fast pass).
 report:
 	$(GO) run ./cmd/endurance-report $(REPORT_FLAGS)
 
-ci: vet doclint race
+# `bench` doubles as the CI benchmark smoke: -benchtime=1x executes every
+# benchmark body once, catching bit-rot in the measurement harness.
+ci: vet doclint race bench

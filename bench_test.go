@@ -477,6 +477,25 @@ func BenchmarkHwEngine(b *testing.B) {
 		}
 		b.ReportMetric(float64(ref)/float64(eng), "speedup_x")
 	})
+	// A single 10 000-iteration epoch (software re-mapping disabled within
+	// it): the regime where closed-cycle replay dominates, because every
+	// op's per-row visit counts over the whole epoch are computed from one
+	// walk of its σ-orbit (length ≤ rows) instead of 10 000 op replays.
+	b.Run("long-epoch", func(b *testing.B) {
+		longSim := sim
+		longSim.Iterations = 10000
+		longSim.RecompileEvery = 10000
+		var ref, eng time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			sweep(b, longSim, core.SimulateReference)
+			ref += time.Since(t0)
+			t0 = time.Now()
+			sweep(b, longSim, core.Simulate)
+			eng += time.Since(t0)
+		}
+		b.ReportMetric(float64(ref)/float64(eng), "speedup_x")
+	})
 	// The same sweep with the observability layer recording — what a CLI
 	// run pays for its manifest. Disabled-mode cost (the "engine" run
 	// above) is the hot path and must stay within the <2% budget; this
@@ -546,15 +565,55 @@ func BenchmarkSweepWorkers(b *testing.B) {
 }
 
 // BenchmarkArrayIteration measures the bit-accurate simulator's throughput
-// on one full 32-bit multiply iteration across 128 lanes.
+// on one full 32-bit multiply iteration across 128 lanes: the scalar
+// cell-at-a-time reference runner against the word-parallel packed runner
+// (64 lanes per uint64, deferred rank-1 access counting). "speedup" times
+// both on identical inputs and reports the ratio.
 func BenchmarkArrayIteration(b *testing.B) {
 	bench := mustMult(b, benchOptions(), 32)
 	sim := core.SimConfig{Rows: 1024, PresetOutputs: true, Iterations: 1}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := core.BruteForce(bench.Trace, sim, pim.StaticStrategy, nil); err != nil {
-			b.Fatal(err)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.BruteForceReference(bench.Trace, sim, pim.StaticStrategy, nil); err != nil {
+				b.Fatal(err)
+			}
 		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.BruteForce(bench.Trace, sim, pim.StaticStrategy, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var scalar, packed time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, _, err := core.BruteForceReference(bench.Trace, sim, pim.StaticStrategy, nil); err != nil {
+				b.Fatal(err)
+			}
+			scalar += time.Since(t0)
+			t0 = time.Now()
+			if _, _, err := core.BruteForce(bench.Trace, sim, pim.StaticStrategy, nil); err != nil {
+				b.Fatal(err)
+			}
+			packed += time.Since(t0)
+		}
+		b.ReportMetric(float64(scalar)/float64(packed), "speedup_x")
+	})
+	// The speedup must not buy divergence: spot-check distributions on the
+	// benchmark's own inputs.
+	fast, _, err := core.BruteForce(bench.Trace, sim, pim.StaticStrategy, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slow, _, err := core.BruteForceReference(bench.Trace, sim, pim.StaticStrategy, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !fast.Equal(slow) {
+		b.Fatal("packed and scalar runners disagree on benchmark inputs")
 	}
 }
 

@@ -59,12 +59,20 @@ func (c Config) Validate() error {
 }
 
 // Array holds the physical cell state and per-cell access counters. Cells
-// are addressed as (bit, lane); index = bit*Lanes + lane.
+// are addressed as (bit, lane); counters are indexed bit*Lanes + lane.
+// Cell state is bit-packed: each bit address stores its lanes as a run of
+// uint64 words (64 lanes per word), which is what lets the packed runner
+// evaluate a gate across all lanes of a mask with a handful of word ops.
 type Array struct {
 	cfg    Config
-	state  []bool
+	words  int      // words per bit address: ceil(Lanes/64)
+	state  []uint64 // [bit*words + lane/64], lane bit = lane%64
 	writes []uint64
 	reads  []uint64
+	// flush drains counts a packed runner has deferred into writes/reads;
+	// installed by NewRunner, nil when only the scalar path touches the
+	// array.
+	flush func()
 }
 
 // New allocates an array with all cells zero and counters cleared.
@@ -73,9 +81,11 @@ func New(cfg Config) *Array {
 		panic(err)
 	}
 	n := cfg.BitsPerLane * cfg.Lanes
+	words := (cfg.Lanes + 63) / 64
 	return &Array{
 		cfg:    cfg,
-		state:  make([]bool, n),
+		words:  words,
+		state:  make([]uint64, cfg.BitsPerLane*words),
 		writes: make([]uint64, n),
 		reads:  make([]uint64, n),
 	}
@@ -91,38 +101,83 @@ func (a *Array) idx(bit, lane int) int {
 	return bit*a.cfg.Lanes + lane
 }
 
+// bit returns a cell's value from the packed state (no bounds check
+// beyond the slice's own).
+func (a *Array) bit(bit, lane int) bool {
+	return a.state[bit*a.words+lane>>6]&(1<<uint(lane&63)) != 0
+}
+
+// setBit programs a cell's value in the packed state.
+func (a *Array) setBit(bit, lane int, v bool) {
+	w := &a.state[bit*a.words+lane>>6]
+	m := uint64(1) << uint(lane&63)
+	if v {
+		*w |= m
+	} else {
+		*w &^= m
+	}
+}
+
+// row returns the packed lane words of one bit address.
+func (a *Array) row(bit int) []uint64 {
+	return a.state[bit*a.words : (bit+1)*a.words]
+}
+
 // read senses a cell, counting the access.
 func (a *Array) read(bit, lane int) bool {
 	i := a.idx(bit, lane)
 	a.reads[i]++
-	return a.state[i]
+	return a.bit(bit, lane)
 }
 
 // write programs a cell, counting the access.
 func (a *Array) write(bit, lane int, v bool) {
 	i := a.idx(bit, lane)
 	a.writes[i]++
-	a.state[i] = v
+	a.setBit(bit, lane, v)
 }
 
 // Peek returns a cell's value without counting an access (test/diagnostic
 // use and oracular data migration).
-func (a *Array) Peek(bit, lane int) bool { return a.state[a.idx(bit, lane)] }
+func (a *Array) Peek(bit, lane int) bool {
+	a.idx(bit, lane)
+	return a.bit(bit, lane)
+}
 
 // Poke sets a cell's value without counting an access (oracular data
 // migration at recompile boundaries, §4's zero-overhead re-mapping
 // assumption).
-func (a *Array) Poke(bit, lane int, v bool) { a.state[a.idx(bit, lane)] = v }
+func (a *Array) Poke(bit, lane int, v bool) {
+	a.idx(bit, lane)
+	a.setBit(bit, lane, v)
+}
+
+// Flush materializes any access counts a packed runner has deferred, so
+// the per-cell counters are exact. Counter accessors call it implicitly;
+// it is exported for callers that read the counter slices around custom
+// checkpoints.
+func (a *Array) Flush() {
+	if a.flush != nil {
+		a.flush()
+	}
+}
 
 // Writes returns the write count of one cell.
-func (a *Array) Writes(bit, lane int) uint64 { return a.writes[a.idx(bit, lane)] }
+func (a *Array) Writes(bit, lane int) uint64 {
+	a.Flush()
+	return a.writes[a.idx(bit, lane)]
+}
 
 // Reads returns the read count of one cell.
-func (a *Array) Reads(bit, lane int) uint64 { return a.reads[a.idx(bit, lane)] }
+func (a *Array) Reads(bit, lane int) uint64 {
+	a.Flush()
+	return a.reads[a.idx(bit, lane)]
+}
 
 // WriteCounts returns the full write-count matrix indexed
 // [bit*Lanes+lane]. The returned slice is a copy.
 func (a *Array) WriteCounts() []uint64 {
+	a.Flush()
 	out := make([]uint64, len(a.writes))
 	copy(out, a.writes)
 	return out
@@ -130,6 +185,7 @@ func (a *Array) WriteCounts() []uint64 {
 
 // ReadCounts returns the full read-count matrix as a copy.
 func (a *Array) ReadCounts() []uint64 {
+	a.Flush()
 	out := make([]uint64, len(a.reads))
 	copy(out, a.reads)
 	return out
@@ -137,6 +193,7 @@ func (a *Array) ReadCounts() []uint64 {
 
 // TotalWrites sums write counts over all cells.
 func (a *Array) TotalWrites() uint64 {
+	a.Flush()
 	var n uint64
 	for _, w := range a.writes {
 		n += w
@@ -146,6 +203,7 @@ func (a *Array) TotalWrites() uint64 {
 
 // TotalReads sums read counts over all cells.
 func (a *Array) TotalReads() uint64 {
+	a.Flush()
 	var n uint64
 	for _, r := range a.reads {
 		n += r
@@ -156,6 +214,7 @@ func (a *Array) TotalReads() uint64 {
 // MaxWrites returns the hottest cell's write count — the denominator of the
 // paper's lifetime equation (Eq. 4).
 func (a *Array) MaxWrites() uint64 {
+	a.Flush()
 	var m uint64
 	for _, w := range a.writes {
 		if w > m {
@@ -165,8 +224,10 @@ func (a *Array) MaxWrites() uint64 {
 	return m
 }
 
-// ResetCounters clears access counters but keeps cell state.
+// ResetCounters clears access counters but keeps cell state. Deferred
+// packed-runner counts are discarded along with the materialized ones.
 func (a *Array) ResetCounters() {
+	a.Flush()
 	for i := range a.writes {
 		a.writes[i] = 0
 		a.reads[i] = 0

@@ -55,35 +55,53 @@ type DataFunc func(slot, lane int) bool
 // Runner executes a trace on an array under a mapper, iteration after
 // iteration. Read-slot results of the latest iteration are available via
 // Out.
+//
+// Runners come in two flavours with bit-identical observable behaviour:
+// the default word-parallel runner (NewRunner) evaluates gates 64 lanes at
+// a time over the array's packed state and defers access counting into
+// per-(mask, physical row) histograms, while the scalar runner
+// (NewScalarRunner) walks lanes one cell at a time with immediate
+// counters. The scalar path is the executable specification the packed
+// path is tested against, and the baseline its speedup is measured from.
 type Runner struct {
 	arr    *Array
 	trace  *program.Trace
 	mapper Mapper
 	data   DataFunc
 	out    [][]bool // [readSlot][logical lane]
+	pk     *packedState // nil on scalar runners
 }
 
-// NewRunner validates dimensions and binds trace, array, mapper and data.
-func NewRunner(arr *Array, tr *program.Trace, m Mapper, data DataFunc) (*Runner, error) {
-	cfg := arr.Config()
+// validateMapper checks that a mapper's dimensions agree with the trace
+// and the array. It is shared by runner construction and Remap (which must
+// not construct a throwaway runner: runners install counter-flush hooks on
+// the array).
+func validateMapper(cfg Config, tr *program.Trace, m Mapper) error {
 	if tr.Lanes != cfg.Lanes {
-		return nil, fmt.Errorf("array: trace spans %d lanes, array has %d", tr.Lanes, cfg.Lanes)
+		return fmt.Errorf("array: trace spans %d lanes, array has %d", tr.Lanes, cfg.Lanes)
 	}
 	if m.Between.Len() != cfg.Lanes {
-		return nil, fmt.Errorf("array: between-lane perm over %d lanes, array has %d", m.Between.Len(), cfg.Lanes)
+		return fmt.Errorf("array: between-lane perm over %d lanes, array has %d", m.Between.Len(), cfg.Lanes)
 	}
 	archBits := cfg.BitsPerLane
 	if m.Hw != nil {
 		if m.Hw.ArchRows() != cfg.BitsPerLane-1 {
-			return nil, fmt.Errorf("array: Hw renamer over %d+1 rows, array has %d", m.Hw.ArchRows(), cfg.BitsPerLane)
+			return fmt.Errorf("array: Hw renamer over %d+1 rows, array has %d", m.Hw.ArchRows(), cfg.BitsPerLane)
 		}
 		archBits = cfg.BitsPerLane - 1
 	}
 	if m.Within.Len() != archBits {
-		return nil, fmt.Errorf("array: within-lane perm over %d addresses, want %d", m.Within.Len(), archBits)
+		return fmt.Errorf("array: within-lane perm over %d addresses, want %d", m.Within.Len(), archBits)
 	}
 	if tr.LaneBits > archBits {
-		return nil, fmt.Errorf("array: trace uses %d bit addresses, only %d available", tr.LaneBits, archBits)
+		return fmt.Errorf("array: trace uses %d bit addresses, only %d available", tr.LaneBits, archBits)
+	}
+	return nil
+}
+
+func newRunner(arr *Array, tr *program.Trace, m Mapper, data DataFunc) (*Runner, error) {
+	if err := validateMapper(arr.Config(), tr, m); err != nil {
+		return nil, err
 	}
 	if data == nil {
 		data = func(int, int) bool { return false }
@@ -93,6 +111,34 @@ func NewRunner(arr *Array, tr *program.Trace, m Mapper, data DataFunc) (*Runner,
 		out[i] = make([]bool, tr.Lanes)
 	}
 	return &Runner{arr: arr, trace: tr, mapper: m, data: data, out: out}, nil
+}
+
+// NewRunner validates dimensions and binds trace, array, mapper and data.
+// The returned runner uses the word-parallel execution path and installs a
+// flush hook on the array so its counter accessors transparently include
+// counts the runner has deferred.
+func NewRunner(arr *Array, tr *program.Trace, m Mapper, data DataFunc) (*Runner, error) {
+	r, err := newRunner(arr, tr, m, data)
+	if err != nil {
+		return nil, err
+	}
+	r.pk = newPackedState(arr, tr, m.Between)
+	prev := arr.flush
+	arr.flush = func() {
+		if prev != nil {
+			prev()
+		}
+		r.flushCounts()
+	}
+	return r, nil
+}
+
+// NewScalarRunner is NewRunner's cell-at-a-time reference twin: every
+// access updates the per-cell counters immediately and no word-level
+// shortcuts are taken. It is retained as the ground truth for the packed
+// path's bit-identity tests and as the baseline for its benchmarks.
+func NewScalarRunner(arr *Array, tr *program.Trace, m Mapper, data DataFunc) (*Runner, error) {
+	return newRunner(arr, tr, m, data)
 }
 
 // Array returns the underlying array.
@@ -120,6 +166,10 @@ func (r *Runner) OutWord(firstSlot, width, lane int) uint64 {
 // RunIteration executes the trace once, updating cell state, access
 // counters, hardware renaming state and read-slot outputs.
 func (r *Runner) RunIteration() {
+	if r.pk != nil {
+		r.runPackedIteration()
+		return
+	}
 	tr := r.trace
 	for _, op := range tr.Ops {
 		mask := tr.Mask(op.Mask)
@@ -184,6 +234,11 @@ func (r *Runner) execGate(op program.Op, mask *program.Mask) {
 // re-baselines the layout.
 func (r *Runner) Remap(within, between *mapping.Perm) error {
 	tr := r.trace
+	// Deferred counts refer to the outgoing between-lane permutation's
+	// physical lane sets; materialize them before those sets change.
+	if r.pk != nil {
+		r.flushCounts()
+	}
 	// Snapshot logical contents under the old mapping.
 	snap := make([]bool, tr.LaneBits*tr.Lanes)
 	for b := 0; b < tr.LaneBits; b++ {
@@ -197,11 +252,13 @@ func (r *Runner) Remap(within, between *mapping.Perm) error {
 		next.Hw.Reset()
 	}
 	// Validate the new maps against the array before installing.
-	probe, err := NewRunner(r.arr, tr, next, r.data)
-	if err != nil {
+	if err := validateMapper(r.arr.Config(), tr, next); err != nil {
 		return err
 	}
-	r.mapper = probe.mapper
+	r.mapper = next
+	if r.pk != nil {
+		r.pk.rebuildLanes(tr, between)
+	}
 	// Restore logical contents under the new mapping.
 	for b := 0; b < tr.LaneBits; b++ {
 		pb := r.mapper.BitAddr(program.Bit(b))

@@ -46,9 +46,17 @@ var (
 	obsHwReplays = obs.GetCounter("core.hw.replays")
 	// obsHwMemoHits counts epochs served from an already-replayed job.
 	obsHwMemoHits = obs.GetCounter("core.hw.memo_hits")
-	// obsHwReplayIters counts iterations replayed op-by-op (the work
-	// memoization saves shows up as epochs×epochLen − this).
+	// obsHwReplayIters counts iterations actually replayed op-by-op
+	// after memoization and cycle acceleration.
 	obsHwReplayIters = obs.GetCounter("core.hw.replay_iters")
+	// obsHwReplayItersSaved counts epoch-iterations NOT replayed thanks
+	// to memoization and cycle acceleration; replay_iters + this equals
+	// the total +Hw epoch-iterations simulated.
+	obsHwReplayItersSaved = obs.GetCounter("core.hw.replay_iters_saved")
+	// obsHwCycleLen accumulates the analytic renamer period of each +Hw
+	// simulation (mapping.AnalyzeRenamerCycle) — the per-run cycle
+	// length a manifest surfaces next to replay_iters_saved.
+	obsHwCycleLen = obs.GetCounter("core.hw.cycle_len")
 	// obsWrites totals cell writes accumulated into distributions; a
 	// run's manifest entry equals the sum of its WriteDist.Total()s.
 	obsWrites = obs.GetCounter("core.writes")
@@ -323,8 +331,24 @@ func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, 
 // BruteForce accumulates the same distribution by executing every
 // iteration on the functional array simulator under the identical mapping
 // schedule. data supplies operand values (nil for all-zero). It is slow
-// and exists to validate Simulate and to drive functional checks.
+// relative to Simulate — it computes real Boolean values — and exists to
+// validate Simulate and to drive functional checks. It uses the array
+// package's word-parallel runner (64 lanes per machine word);
+// BruteForceReference is the cell-at-a-time variant.
 func BruteForce(tr *program.Trace, cfg SimConfig, strat StrategyConfig, data array.DataFunc) (*WriteDist, *array.Runner, error) {
+	return bruteForce(tr, cfg, strat, data, array.NewRunner)
+}
+
+// BruteForceReference is BruteForce on the scalar cell-at-a-time runner
+// (array.NewScalarRunner). Results are bit-identical to BruteForce; it
+// exists as the ground truth for the word-parallel path's identity tests
+// and as the baseline its speedup is benchmarked against.
+func BruteForceReference(tr *program.Trace, cfg SimConfig, strat StrategyConfig, data array.DataFunc) (*WriteDist, *array.Runner, error) {
+	return bruteForce(tr, cfg, strat, data, array.NewScalarRunner)
+}
+
+func bruteForce(tr *program.Trace, cfg SimConfig, strat StrategyConfig, data array.DataFunc,
+	newRunner func(*array.Array, *program.Trace, array.Mapper, array.DataFunc) (*array.Runner, error)) (*WriteDist, *array.Runner, error) {
 	if err := cfg.Validate(tr, strat.Hw); err != nil {
 		return nil, nil, err
 	}
@@ -341,7 +365,7 @@ func BruteForce(tr *program.Trace, cfg SimConfig, strat StrategyConfig, data arr
 	}
 	arr := array.New(array.Config{BitsPerLane: cfg.Rows, Lanes: tr.Lanes, PresetOutputs: cfg.PresetOutputs})
 	m := array.Mapper{Within: sched.EpochWithin(0), Between: sched.EpochBetween(0), Hw: hw}
-	runner, err := array.NewRunner(arr, tr, m, data)
+	runner, err := newRunner(arr, tr, m, data)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -398,10 +422,10 @@ func LaneProfile(tr *program.Trace, preset bool, lane int) (writes, reads []int6
 				writes[op.Out]++
 			}
 			// The read happens in the shifted source lane: this lane
-			// is a source iff (lane − shift) is in the destination
-			// mask.
-			srcOf := lane - int(op.LaneShift)
-			if srcOf >= 0 && srcOf < tr.Lanes && mask.Get(srcOf) {
+			// is read iff the destination lane it would feed,
+			// lane − shift, is in the (destination) mask.
+			dstLane := lane - int(op.LaneShift)
+			if dstLane >= 0 && dstLane < tr.Lanes && mask.Get(dstLane) {
 				reads[op.In0]++
 			}
 		}

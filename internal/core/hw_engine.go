@@ -7,7 +7,7 @@
 // (b) the epoch length in iterations. The between-lane permutation only
 // relabels columns when the histogram lands in the distribution.
 //
-// The engine exploits this twice:
+// The engine exploits this three ways:
 //
 //   - Memoization: epochs are grouped by (within-permutation
 //     fingerprint, length), resolved to exact permutation equality on
@@ -18,6 +18,19 @@
 //     epochs are (almost always) distinct. Each group is replayed once
 //     and multiply-accumulated into every member epoch through that
 //     epoch's own between-lane permutation.
+//
+//   - Closed-cycle replay: each iteration applies a fixed permutation σ
+//     to the renamer state (every full-mask write is a transposition of
+//     state slots sharing the free slot), so the physical row an op
+//     touches at iteration t is σ^t(u) for a fixed orbit start u. A job
+//     of n iterations replays exactly one iteration (recording each
+//     op's u and σ itself) and reconstructs the full histogram from
+//     per-op cycle counts — O(Σ_ops min(cycleLen, n)) instead of
+//     O(n × ops). This is the win that makes long recompile epochs (the
+//     paper's RecompileEvery=10 000 sweeps) cheap even under Ra-within,
+//     where memoization cannot group anything. The analytic period of σ
+//     (mapping.AnalyzeRenamerCycle) cross-checks every job's detected
+//     permutation at runtime.
 //
 //   - Bounded parallelism: groups are sharded over a pool of
 //     SimConfig.Workers goroutines. Each worker accumulates into a
@@ -142,7 +155,10 @@ func groupByBetween(sched mapping.Schedule, epochs []int) []betweenGroup {
 
 // simulateHw replays the hardware renamer exactly, once per unique
 // (within-permutation, epoch length) group, sharded over the bounded
-// worker pool.
+// worker pool. Within each group the replay is closed in cycle form:
+// one recorded iteration plus a per-op orbit walk replaces the
+// op-by-op replay of all n iterations (see the comment on
+// accumulateClosedCycle).
 func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
 	sp := obs.StartSpan("core.simulate/hw-replay")
 	defer sp.End()
@@ -152,9 +168,21 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 	nMasks := len(tr.Masks)
 	plan := sp.Child("plan")
 	jobs := planHwEpochs(cfg, sched)
+	// The iteration period is a property of the full-mask write sequence
+	// alone: software within-lane permutations only conjugate the state
+	// permutation, so one analysis on the logical rows serves every job.
+	var fullRows []int32
+	for _, op := range ops {
+		if op.full {
+			fullRows = append(fullRows, op.row)
+		}
+	}
+	cycle := mapping.AnalyzeRenamerCycle(rows, fullRows)
+	period := cycle.Period
 	plan.End()
 	// Memoization accounting: every epoch beyond a job's representative
-	// is a replay the grouping saved.
+	// is a replay the grouping saved; the closed-cycle form additionally
+	// truncates each representative's replay to a single iteration.
 	epochs := 0
 	for _, job := range jobs {
 		epochs += len(job.epochs)
@@ -162,6 +190,7 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 	obsEpochs.Add(int64(epochs))
 	obsHwReplays.Add(int64(len(jobs)))
 	obsHwMemoHits.Add(int64(epochs - len(jobs)))
+	obsHwCycleLen.Add(int64(period))
 	workers := pool.Size(cfg.workers(), len(jobs))
 
 	// Per-worker state, reused across the jobs a worker drains. Worker 0
@@ -172,6 +201,7 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 	hists := make([][]uint64, workers)   // hist[mask*rows+physRow], zeroed per job
 	archRows := make([][]int32, workers) // per-op within-mapped row, constant per job
 	renamers := make([]*mapping.HwRenamer, workers)
+	cycles := make([]*cycleScratch, workers)
 	for w := 0; w < workers; w++ {
 		if w > 0 {
 			parts[w] = make([]uint64, len(dist.Counts))
@@ -179,11 +209,16 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 		hists[w] = make([]uint64, nMasks*rows)
 		archRows[w] = make([]int32, len(ops))
 		renamers[w] = mapping.NewHwRenamer(rows)
+		cycles[w] = newCycleScratch(rows, len(ops))
 	}
 
 	pool.ForEachWorker(workers, len(jobs), func(slot, j int) {
 		job := jobs[j]
-		obsHwReplayIters.Add(int64(job.n))
+		// One op-by-op iteration is replayed to record the orbit starts;
+		// the remaining n−1 iterations of the epoch are reconstructed in
+		// closed form by accumulateClosedCycle.
+		obsHwReplayIters.Add(1)
+		obsHwReplayItersSaved.Add(int64(len(job.epochs))*int64(job.n) - 1)
 		hist := hists[slot]
 		for i := range hist {
 			hist[i] = 0
@@ -197,17 +232,25 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 		}
 		hw := renamers[slot]
 		hw.Reset()
-		for it := 0; it < job.n; it++ {
-			for i, op := range ops {
-				var phys int
-				if op.full {
-					phys = hw.RenameOnWrite(int(arch[i]))
-				} else {
-					phys = hw.Lookup(int(arch[i]))
-				}
-				hist[int(op.mask)*rows+phys] += uint64(op.w)
+		cyc := cycles[slot]
+		// Recording pass — iteration 0. Each op's physical row in this
+		// iteration is its orbit start u; the renamer then holds the
+		// iteration permutation σ.
+		for i, op := range ops {
+			if op.full {
+				cyc.starts[i] = int32(hw.RenameOnWrite(int(arch[i])))
+			} else {
+				cyc.starts[i] = int32(hw.Lookup(int(arch[i])))
 			}
 		}
+		cyc.decompose(hw)
+		// The job's permutation is the trace-level one conjugated by the
+		// within map, so its order must match the analytic period; a
+		// mismatch means the closed form below would be wrong.
+		if cyc.period != period {
+			panic("core: +Hw job cycle period diverges from the analytic trace period")
+		}
+		accumulateClosedCycle(ops, cyc, uint64(job.n), rows, hist)
 		// Multiply-accumulate the shared histogram into the member
 		// epochs. Epochs whose between-lane permutations also coincide
 		// (St always, Bs once its rotation cycles) collapse into a
@@ -240,4 +283,121 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 			}
 		}
 	}
+}
+
+// cycleScratch is per-worker scratch for the closed-cycle reconstruction:
+// the per-op orbit starts recorded during iteration 0 and the cycle
+// decomposition of the iteration permutation σ.
+//
+// Why this is exact: every full-mask RenameOnWrite is a transposition of
+// renamer state slots (the written architectural slot and the free slot),
+// so one whole iteration applies a fixed slot permutation σ to the state,
+// and the state at iteration t is S_t = S_0 ∘ σ^t. The physical row op j
+// touches at iteration t is the content of one fixed slot — free for
+// renamed writes, the looked-up slot for the rest — under the state σ has
+// partially advanced within the iteration, which is S_t(u_j) = σ^t(u_j)
+// for a constant u_j (with S_0 the identity after Reset, u_j is simply
+// the physical row op j touched at iteration 0). Each op therefore walks
+// its own σ-orbit, one step per iteration: over n iterations it touches
+// each of the L rows on that cycle ⌈(n−r)/L⌉ times (r = offset along the
+// cycle). Summing those closed forms replaces the op-by-op replay of all
+// n iterations — O(Σ_ops min(L, n)) instead of O(n × ops) — and, unlike
+// scaling a whole-iteration period, never pays the lcm blow-up workspace
+// reuse causes when σ splits into many coprime cycles.
+type cycleScratch struct {
+	starts []int32 // per-op orbit start u (phys row touched at iteration 0)
+	orbit  []int32 // σ's cycles, concatenated
+	start  []int32 // per phys row: index in orbit where its cycle begins
+	length []int32 // per phys row: its cycle length
+	pos    []int32 // per phys row: offset within its cycle
+	seen   []bool
+	period int // order of σ (lcm of cycle lengths)
+}
+
+func newCycleScratch(rows, ops int) *cycleScratch {
+	return &cycleScratch{
+		starts: make([]int32, ops),
+		orbit:  make([]int32, rows),
+		start:  make([]int32, rows),
+		length: make([]int32, rows),
+		pos:    make([]int32, rows),
+		seen:   make([]bool, rows),
+	}
+}
+
+// decompose reads the iteration permutation σ off a renamer that has run
+// exactly one iteration from Reset (slot s now holds σ(s); the free slot
+// is identified with the top physical row) and rebuilds the cycle index.
+func (c *cycleScratch) decompose(hw *mapping.HwRenamer) {
+	rows := len(c.orbit)
+	for i := range c.seen {
+		c.seen[i] = false
+	}
+	sigma := func(s int) int {
+		if s == rows-1 {
+			return hw.FreeRow()
+		}
+		return hw.Lookup(s)
+	}
+	c.period = 1
+	idx := 0
+	for s := 0; s < rows; s++ {
+		if c.seen[s] {
+			continue
+		}
+		first := idx
+		for v := s; !c.seen[v]; v = sigma(v) {
+			c.seen[v] = true
+			c.orbit[idx] = int32(v)
+			c.pos[v] = int32(idx - first)
+			idx++
+		}
+		n := idx - first
+		for i := first; i < idx; i++ {
+			v := c.orbit[i]
+			c.start[v] = int32(first)
+			c.length[v] = int32(n)
+		}
+		if n > 1 {
+			c.period = lcm(c.period, n)
+		}
+	}
+}
+
+// accumulateClosedCycle adds the exact n-iteration histogram of one epoch
+// to hist[mask*rows+physRow]: op j touching orbit start u contributes its
+// weight to row σ^t(u) for t = 0..n−1, which visits the L rows of u's
+// cycle round-robin starting at u.
+func accumulateClosedCycle(ops []wop, cyc *cycleScratch, n uint64, rows int, hist []uint64) {
+	for i, op := range ops {
+		u := cyc.starts[i]
+		w := uint64(op.w)
+		base := int(op.mask) * rows
+		cs := int(cyc.start[u])
+		L := uint64(cyc.length[u])
+		steps := L
+		if n < steps {
+			steps = n
+		}
+		idx := int(cyc.pos[u])
+		for r := uint64(0); r < steps; r++ {
+			v := cyc.orbit[cs+idx]
+			hist[base+int(v)] += w * ((n-1-r)/L + 1)
+			idx++
+			if idx == int(L) {
+				idx = 0
+			}
+		}
+	}
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }

@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"testing"
+
+	"pimendure/internal/core"
+	"pimendure/internal/synth"
+	"pimendure/internal/workloads"
+)
+
+// packedData is a deterministic pseudo-random operand stream so the packed
+// and scalar runners chew on non-trivial Boolean values.
+func packedData(slot, lane int) bool {
+	z := uint64(slot)*0xBF58476D1CE4E5B9 + uint64(lane)*0x94D049BB133111EB + 0x9E3779B97F4A7C15
+	z ^= z >> 29
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 32
+	return z&1 == 1
+}
+
+// The word-parallel runner must be indistinguishable from the scalar
+// reference runner — write counts, read counts, final cell state and
+// read-slot outputs — for all 18 configurations, on a trace that
+// exercises every op kind including lane-shifted moves, across remap
+// epochs with an uneven tail.
+func TestPackedRunnerMatchesScalar(t *testing.T) {
+	cfg := workloads.Config{Lanes: 8, Rows: 96, Basis: synth.NAND}
+	dot, err := workloads.DotProduct(cfg, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := dot.Trace
+	sim := core.SimConfig{
+		Rows:           96,
+		PresetOutputs:  true,
+		Iterations:     11,
+		RecompileEvery: 4, // two remaps plus a short final epoch
+		Seed:           99,
+	}
+	for _, strat := range core.AllConfigs() {
+		packed, pr, err := core.BruteForce(tr, sim, strat, packedData)
+		if err != nil {
+			t.Fatalf("%s packed: %v", strat.Name(), err)
+		}
+		scalar, sr, err := core.BruteForceReference(tr, sim, strat, packedData)
+		if err != nil {
+			t.Fatalf("%s scalar: %v", strat.Name(), err)
+		}
+		if !packed.Equal(scalar) {
+			t.Errorf("%s: packed write distribution diverges from scalar (packed max %d total %d, scalar max %d total %d)",
+				strat.Name(), packed.Max(), packed.Total(), scalar.Max(), scalar.Total())
+		}
+		pa, sa := pr.Array(), sr.Array()
+		pw, sw := pa.WriteCounts(), sa.WriteCounts()
+		prd, srd := pa.ReadCounts(), sa.ReadCounts()
+		for i := range pw {
+			if pw[i] != sw[i] {
+				t.Errorf("%s: write count of cell %d: packed %d, scalar %d", strat.Name(), i, pw[i], sw[i])
+				break
+			}
+		}
+		for i := range prd {
+			if prd[i] != srd[i] {
+				t.Errorf("%s: read count of cell %d: packed %d, scalar %d", strat.Name(), i, prd[i], srd[i])
+				break
+			}
+		}
+	state:
+		for bit := 0; bit < sim.Rows; bit++ {
+			for lane := 0; lane < tr.Lanes; lane++ {
+				if pa.Peek(bit, lane) != sa.Peek(bit, lane) {
+					t.Errorf("%s: cell state (%d,%d): packed %v, scalar %v",
+						strat.Name(), bit, lane, pa.Peek(bit, lane), sa.Peek(bit, lane))
+					break state
+				}
+			}
+		}
+		for slot := 0; slot < tr.ReadSlots; slot++ {
+			for lane := 0; lane < tr.Lanes; lane++ {
+				if pr.Out(slot, lane) != sr.Out(slot, lane) {
+					t.Errorf("%s: out slot %d lane %d: packed %v, scalar %v",
+						strat.Name(), slot, lane, pr.Out(slot, lane), sr.Out(slot, lane))
+				}
+			}
+		}
+	}
+}
+
+// LaneProfile's static per-lane profile must agree with what the
+// functional simulator actually counts: under the identity layout, one
+// iteration's per-cell counters at (logical bit, lane) are exactly the
+// profile — including the OpMove branch, whose read lands in the shifted
+// source lane. The dot-product trace drives that branch with nonzero
+// LaneShift through its reduction tree. Both runner flavours are checked.
+func TestLaneProfileMatchesBruteForceCounters(t *testing.T) {
+	cfg := workloads.Config{Lanes: 8, Rows: 96, Basis: synth.NAND}
+	dot, err := workloads.DotProduct(cfg, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := dot.Trace
+	moves := 0
+	for _, op := range tr.Ops {
+		if op.Kind.String() == "move" && op.LaneShift != 0 {
+			moves++
+		}
+	}
+	if moves == 0 {
+		t.Fatal("dot-product trace has no lane-shifted moves; the profile's move branch is untested")
+	}
+	sim := core.SimConfig{Rows: 96, PresetOutputs: true, Iterations: 1, Seed: 1}
+	brutes := map[string]func() (*core.WriteDist, interface {
+		Writes(bit, lane int) uint64
+		Reads(bit, lane int) uint64
+	}, error){
+		"packed": func() (*core.WriteDist, interface {
+			Writes(bit, lane int) uint64
+			Reads(bit, lane int) uint64
+		}, error) {
+			d, r, err := core.BruteForce(tr, sim, core.Static, packedData)
+			if err != nil {
+				return nil, nil, err
+			}
+			return d, r.Array(), nil
+		},
+		"scalar": func() (*core.WriteDist, interface {
+			Writes(bit, lane int) uint64
+			Reads(bit, lane int) uint64
+		}, error) {
+			d, r, err := core.BruteForceReference(tr, sim, core.Static, packedData)
+			if err != nil {
+				return nil, nil, err
+			}
+			return d, r.Array(), nil
+		},
+	}
+	for name, run := range brutes {
+		_, arr, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for lane := 0; lane < tr.Lanes; lane++ {
+			writes, reads := core.LaneProfile(tr, sim.PresetOutputs, lane)
+			for bit := 0; bit < tr.LaneBits; bit++ {
+				if got := arr.Writes(bit, lane); got != uint64(writes[bit]) {
+					t.Errorf("%s lane %d bit %d: counted %d writes, profile says %d", name, lane, bit, got, writes[bit])
+				}
+				if got := arr.Reads(bit, lane); got != uint64(reads[bit]) {
+					t.Errorf("%s lane %d bit %d: counted %d reads, profile says %d", name, lane, bit, got, reads[bit])
+				}
+			}
+		}
+	}
+}

@@ -87,6 +87,32 @@ func (k Kind) Eval(a, b bool) bool {
 	panic(fmt.Sprintf("gates: invalid kind %d", uint8(k)))
 }
 
+// EvalWord computes the gate's output for 64 lanes at once, one lane per
+// bit (the bit-packed array simulator's kernel). Single-input gates
+// ignore b. Inactive-lane bits produce garbage the caller masks off.
+// Like Eval, it panics on an invalid kind.
+func (k Kind) EvalWord(a, b uint64) uint64 {
+	switch k {
+	case NOT:
+		return ^a
+	case COPY:
+		return a
+	case AND:
+		return a & b
+	case NAND:
+		return ^(a & b)
+	case OR:
+		return a | b
+	case NOR:
+		return ^(a | b)
+	case XOR:
+		return a ^ b
+	case XNOR:
+		return ^(a ^ b)
+	}
+	panic(fmt.Sprintf("gates: invalid kind %d", uint8(k)))
+}
+
 // CellReads returns the number of memory-cell read operations a single
 // execution of the gate induces: one per input cell (§2.2 — current is
 // passed through every input device).

@@ -1,0 +1,102 @@
+package mapping
+
+// This file is the closed-form side of the +Hw wear engine's cycle
+// acceleration. One iteration of a trace applies a *fixed* permutation to
+// the renamer state: every full-mask write RenameOnWrite(a) swaps the
+// contents of architectural slot a with the free slot, i.e. it is a
+// transposition (a, F) of state slots, and the iteration's op sequence is
+// therefore a product of transpositions all sharing the free slot F. When
+// no written row repeats within the iteration that product is a single
+// cycle of length d+1 (d = distinct full-mask output rows): the free
+// slot's content chases through the written rows one hop per iteration.
+// Workspace reuse (a row written more than once per iteration) can split
+// the product into several disjoint cycles — see TestRenamerCycleRepeats —
+// so the iteration period is, in general, the *order* of the permutation:
+// the least common multiple of its cycle lengths. Either way the renamer
+// state sequence S_t = S_0 ∘ ρ^t is purely periodic from t = 0. The wear
+// engine exploits the per-cycle structure directly (each op walks one
+// σ-orbit; internal/core's accumulateClosedCycle) and uses the global
+// period computed here as a runtime cross-check on every replay job.
+//
+// The period is invariant under the software within-lane permutation: a
+// different within map conjugates ρ (it relabels the architectural slots,
+// never the free slot), and conjugate permutations have equal cycle type.
+// One analysis therefore serves every epoch of a simulation.
+
+// RenamerCycle describes the permutation one iteration of full-mask
+// renamed writes induces on the HwRenamer state, as computed by
+// AnalyzeRenamerCycle.
+type RenamerCycle struct {
+	// Period is the order of the iteration permutation: after Period
+	// iterations the renamer state returns to its starting value, and the
+	// per-iteration physical-row histogram sequence repeats.
+	Period int
+	// Support is the number of state slots (architectural rows plus the
+	// free slot) the permutation actually moves; 0 when the iteration
+	// leaves the renamer untouched.
+	Support int
+	// Distinct is the number of distinct architectural rows receiving
+	// full-mask writes in one iteration.
+	Distinct int
+	// SingleCycle reports whether the permutation is one cycle, in which
+	// case Period == Support ≤ Distinct+1 (always the case when no row
+	// repeats within the iteration).
+	SingleCycle bool
+}
+
+// AnalyzeRenamerCycle computes the RenamerCycle of the architectural-row
+// write sequence one iteration issues (full-mask renamed writes only, in
+// op order; rows may repeat). rows is the physical row count of the
+// renamer the sequence will run on. The rows in writes may be expressed
+// in any fixed labelling — logical or within-mapped — because the period
+// is conjugation-invariant.
+func AnalyzeRenamerCycle(rows int, writes []int32) RenamerCycle {
+	h := NewHwRenamer(rows)
+	seen := make(map[int32]bool, len(writes))
+	for _, a := range writes {
+		h.RenameOnWrite(int(a))
+		seen[a] = true
+	}
+	// Read the iteration permutation off the final state. Identify value v
+	// with the slot that held it at reset (arch slot v for v < rows-1, the
+	// free slot for v = rows-1): then slot s's content moved to the slot
+	// now holding value s, i.e. p[s] = position of value s — and the order
+	// of p equals the order of its inverse, so cycle lengths can be read
+	// from p[s] = "value now at slot s" directly.
+	n := rows // slots: arch rows 0..rows-2, free slot at index rows-1
+	p := make([]int32, n)
+	for s := 0; s < n-1; s++ {
+		p[s] = int32(h.Lookup(s))
+	}
+	p[n-1] = int32(h.FreeRow())
+
+	c := RenamerCycle{Period: 1, Distinct: len(seen)}
+	visited := make([]bool, n)
+	cycles := 0
+	for s := 0; s < n; s++ {
+		if visited[s] || int(p[s]) == s {
+			continue
+		}
+		length := 0
+		for t := s; !visited[t]; t = int(p[t]) {
+			visited[t] = true
+			length++
+		}
+		c.Support += length
+		c.Period = lcm(c.Period, length)
+		cycles++
+	}
+	c.SingleCycle = cycles <= 1
+	return c
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

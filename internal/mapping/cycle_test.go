@@ -1,0 +1,101 @@
+package mapping_test
+
+import (
+	"testing"
+
+	"pimendure/internal/mapping"
+)
+
+// replayCycle runs the write sequence against a fresh renamer n times and
+// reports whether the state returned to reset.
+func replayCycle(rows int, writes []int32, n int) *mapping.HwRenamer {
+	h := mapping.NewHwRenamer(rows)
+	for i := 0; i < n; i++ {
+		for _, a := range writes {
+			h.RenameOnWrite(int(a))
+		}
+	}
+	return h
+}
+
+// A repeat-free write sequence is a product of transpositions all moving
+// the free slot: one single cycle of length distinct+1.
+func TestRenamerCycleNoRepeats(t *testing.T) {
+	c := mapping.AnalyzeRenamerCycle(8, []int32{0, 1, 2})
+	if !c.SingleCycle {
+		t.Error("repeat-free sequence should form a single cycle")
+	}
+	if c.Distinct != 3 || c.Support != 4 || c.Period != 4 {
+		t.Errorf("got distinct=%d support=%d period=%d, want 3/4/4", c.Distinct, c.Support, c.Period)
+	}
+}
+
+// Workspace reuse breaks the single-cycle shape: the sequence a,b,c,b
+// composes to (a F)(b c) — two disjoint transpositions — so the period is
+// the lcm of the cycle lengths, not distinct+1. This is the counterexample
+// behind cycle.go's "in general the order of the permutation" caveat.
+func TestRenamerCycleRepeats(t *testing.T) {
+	c := mapping.AnalyzeRenamerCycle(4, []int32{0, 1, 2, 1})
+	if c.SingleCycle {
+		t.Error("a,b,c,b must split into two cycles")
+	}
+	if c.Distinct != 3 || c.Support != 4 || c.Period != 2 {
+		t.Errorf("got distinct=%d support=%d period=%d, want 3/4/2", c.Distinct, c.Support, c.Period)
+	}
+}
+
+// No full-mask writes: the iteration permutation is the identity and the
+// state sequence is constant — period 1.
+func TestRenamerCycleNoWrites(t *testing.T) {
+	c := mapping.AnalyzeRenamerCycle(16, nil)
+	if c.Period != 1 || c.Support != 0 || c.Distinct != 0 || !c.SingleCycle {
+		t.Errorf("empty sequence: got %+v, want period 1, support 0", c)
+	}
+}
+
+// The computed period must be exact: replaying the sequence Period times
+// returns the renamer to reset, and no smaller positive count does.
+func TestRenamerCyclePeriodIsMinimal(t *testing.T) {
+	seqs := [][]int32{
+		{0, 1, 2},          // single cycle
+		{0, 1, 2, 1},       // two 2-cycles
+		{0, 1, 0, 2},       // another reuse pattern
+		{4, 4},             // double write to one row
+		{0, 1, 2, 3, 1, 2}, // heavier reuse
+	}
+	const rows = 6
+	reset := mapping.NewHwRenamer(rows).StateFingerprint()
+	for _, seq := range seqs {
+		c := mapping.AnalyzeRenamerCycle(rows, seq)
+		for n := 1; n < c.Period; n++ {
+			if h := replayCycle(rows, seq, n); h.AtReset() {
+				t.Errorf("%v: state already back at reset after %d < period %d iterations", seq, n, c.Period)
+			}
+		}
+		h := replayCycle(rows, seq, c.Period)
+		if !h.AtReset() {
+			t.Errorf("%v: state not back at reset after the analytic period %d", seq, c.Period)
+		}
+		if h.StateFingerprint() != reset {
+			t.Errorf("%v: fingerprint after period %d differs from reset", seq, c.Period)
+		}
+	}
+}
+
+// Relabelling the architectural rows (a different within-lane permutation)
+// conjugates the iteration permutation and must preserve its cycle type —
+// the invariance that lets one trace-level analysis serve every epoch.
+func TestRenamerCycleConjugationInvariant(t *testing.T) {
+	const rows = 9
+	seq := []int32{0, 3, 1, 3, 5, 2, 1}
+	base := mapping.AnalyzeRenamerCycle(rows, seq)
+	relabel := []int32{7, 2, 5, 0, 6, 1, 3, 4} // a permutation of arch rows 0..7
+	mapped := make([]int32, len(seq))
+	for i, a := range seq {
+		mapped[i] = relabel[a]
+	}
+	got := mapping.AnalyzeRenamerCycle(rows, mapped)
+	if got.Period != base.Period || got.Support != base.Support || got.SingleCycle != base.SingleCycle {
+		t.Errorf("relabelled sequence changed the cycle type: %+v vs %+v", got, base)
+	}
+}

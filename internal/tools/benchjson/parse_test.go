@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: pimendure
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkHwEngine/long-epoch-8         	       2	 532335946 ns/op	        28.84 speedup_x
+BenchmarkArrayIteration/speedup        	       2	  28752564 ns/op	        20.23 speedup_x	      16 B/op	       2 allocs/op
+BenchmarkE1MultSynthesis               	     100	    123456 ns/op	      9824 writes/mult	      42.5 amplification
+PASS
+ok  	pimendure	2.944s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["pkg"] != "pimendure" {
+		t.Errorf("context not captured: %+v", doc.Context)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	// The -8 GOMAXPROCS suffix must be stripped; sub-benchmark slashes kept.
+	long, ok := doc.Benchmarks["BenchmarkHwEngine/long-epoch"]
+	if !ok {
+		t.Fatalf("long-epoch missing (keys: %v)", keys(doc))
+	}
+	if long.Iterations != 2 || long.NsPerOp != 532335946 || long.Metrics["speedup_x"] != 28.84 {
+		t.Errorf("long-epoch parsed wrong: %+v", long)
+	}
+	arr := doc.Benchmarks["BenchmarkArrayIteration/speedup"]
+	if arr.Metrics["B/op"] != 16 || arr.Metrics["allocs/op"] != 2 || arr.Metrics["speedup_x"] != 20.23 {
+		t.Errorf("benchmem metrics parsed wrong: %+v", arr)
+	}
+	mult := doc.Benchmarks["BenchmarkE1MultSynthesis"]
+	if mult.Metrics["writes/mult"] != 9824 || mult.Metrics["amplification"] != 42.5 {
+		t.Errorf("custom metrics parsed wrong: %+v", mult)
+	}
+}
+
+func TestParseRejectsMalformedPairs(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX 10 123 ns/op 4.5\n")); err == nil {
+		t.Error("odd value/unit pairing accepted")
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkHung\nsome log line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("non-result lines produced benchmarks: %v", keys(doc))
+	}
+}
+
+func keys(d *Document) []string {
+	var out []string
+	for k := range d.Benchmarks {
+		out = append(out, k)
+	}
+	return out
+}

@@ -55,6 +55,24 @@ func TestManifestMatchesSweepResults(t *testing.T) {
 			m.Counters["core.hw.replays"], m.Counters["core.hw.memo_hits"], 9*4)
 	}
 
+	// Closed-cycle replay accounting: every +Hw epoch-iteration is either
+	// replayed op-by-op (one recording pass per unique job) or saved by
+	// memoization + closed-form accumulation. 9 +Hw strategies at 23
+	// iterations each is 207 epoch-iterations, exactly.
+	iters, saved := m.Counters["core.hw.replay_iters"], m.Counters["core.hw.replay_iters_saved"]
+	if iters+saved != 9*23 {
+		t.Errorf("replay_iters (%d) + replay_iters_saved (%d) != total +Hw epoch-iterations %d",
+			iters, saved, 9*23)
+	}
+	if iters <= 0 || saved <= 0 {
+		t.Errorf("replay accounting degenerate: replay_iters=%d replay_iters_saved=%d", iters, saved)
+	}
+	// The analytic renamer period is recorded once per +Hw simulation and
+	// is at least 1, so over 9 strategies the accumulated cycle_len is ≥ 9.
+	if got := m.Counters["core.hw.cycle_len"]; got < 9 {
+		t.Errorf("manifest core.hw.cycle_len = %d, want ≥ 9 (one period ≥ 1 per +Hw strategy)", got)
+	}
+
 	stages := map[string]obs.Stage{}
 	for _, st := range m.Stages {
 		stages[st.Name] = st
