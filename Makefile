@@ -9,7 +9,7 @@ GO ?= go
 # API + instrumented engine layers). Enforced by `make doclint`.
 DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool
 
-.PHONY: all build vet test race bench bench-json report ci doclint
+.PHONY: all build vet test race race-obs bench bench-json bench-current benchdiff report ci doclint
 
 all: build
 
@@ -24,6 +24,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The telemetry layer (event ring, series registry, live servers) is the
+# most lock-sensitive code in the repo; run its suite under the race
+# detector explicitly so a failure names the layer, not the world.
+race-obs:
+	$(GO) test -race ./internal/obs/...
 
 # Doc-lint: fail on undocumented exported symbols (revive `exported`
 # rule stand-in, zero dependencies).
@@ -49,10 +55,27 @@ bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./internal/tools/benchjson -o BENCH_engine.json
 
+# Fresh benchmark snapshot for the regression gate, kept out of the
+# committed baseline's path (out/ is gitignored).
+bench-current:
+	@mkdir -p out
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./internal/tools/benchjson -o out/bench_current.json
+
+# Benchmark regression gate: compare a fresh run against the committed
+# BENCH_engine.json and report ns/op deltas. Advisory by default (single
+# -benchtime=1x runs are noisy); pass BENCHDIFF_FLAGS=-strict to fail on
+# a >25% regression, e.g. in a scheduled CI job with BENCHTIME=5x.
+BENCHDIFF_FLAGS ?=
+benchdiff: bench-current
+	$(GO) run ./internal/tools/benchdiff -new out/bench_current.json $(BENCHDIFF_FLAGS)
+
 # Full paper reproduction (use -quick via REPORT_FLAGS for a fast pass).
 report:
 	$(GO) run ./cmd/endurance-report $(REPORT_FLAGS)
 
 # `bench` doubles as the CI benchmark smoke: -benchtime=1x executes every
 # benchmark body once, catching bit-rot in the measurement harness.
-ci: vet doclint race bench
+# `benchdiff` then diffs that fresh snapshot against the committed
+# baseline — advisory locally, strict when BENCHDIFF_FLAGS=-strict.
+ci: vet doclint race-obs race bench benchdiff

@@ -529,6 +529,35 @@ func BenchmarkHwEngine(b *testing.B) {
 		}
 		b.ReportMetric(float64(on)/float64(off), "obs_overhead_x")
 	})
+	// Full live telemetry — counters, span events on the ring, and a
+	// per-epoch wear sampler — against the disabled baseline. The sampler
+	// switches +Hw runs onto the epoch-ordered engine, so this is the
+	// honest price of watching a run live; the ISSUE budget is ≤10%.
+	b.Run("engine-telemetry", func(b *testing.B) {
+		defer func() {
+			obs.Disable()
+			obs.DisableEvents()
+			obs.Reset()
+		}()
+		sampled := func(tr *program.Trace, sim core.SimConfig, s core.StrategyConfig) (*core.WriteDist, error) {
+			sim.Sampler = core.NewWearSampler("bench.telemetry."+s.Name(), 10, 1e12)
+			return core.Simulate(tr, sim, s)
+		}
+		var off, on time.Duration
+		for i := 0; i < b.N; i++ {
+			obs.Disable()
+			obs.DisableEvents()
+			t0 := time.Now()
+			sweep(b, sim, core.Simulate)
+			off += time.Since(t0)
+			obs.Enable()
+			obs.EnableEvents(obs.DefaultEventCapacity)
+			t0 = time.Now()
+			sweep(b, sim, sampled)
+			on += time.Since(t0)
+		}
+		b.ReportMetric(float64(on)/float64(off), "telemetry_overhead_x")
+	})
 	// Cross-check on the benchmark's own inputs: the two engines must be
 	// bit-identical here too, or the speedup numbers are meaningless.
 	for _, s := range hwConfigs {

@@ -18,6 +18,12 @@
 // Run with -quick for a fast low-fidelity pass; defaults reproduce the
 // paper's 100 000-iteration, recompile-every-100 setup on a 1024×1024
 // array.
+//
+// The run is observable while it executes: -sample N records per-epoch
+// wear trajectories (exported as series_*.{csv,json}), -serve addr
+// exposes /metrics, /series and the live /wear.png heatmap, and -trace
+// (on by default) writes a Chrome trace_event timeline of the run's
+// stages. See docs/ARCHITECTURE.md, "Telemetry".
 package main
 
 import (
@@ -43,6 +49,7 @@ type config struct {
 	heatDim   int
 	heatScale int
 	workers   int
+	sample    int
 }
 
 func main() {
@@ -62,6 +69,7 @@ func main() {
 	flag.IntVar(&cfg.heatDim, "heatdim", 128, "heatmap resolution cap per axis")
 	flag.IntVar(&cfg.heatScale, "heatscale", 4, "heatmap PNG pixels per cell")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for sweeps and the +Hw engine (0 = GOMAXPROCS); results are identical for any value")
+	flag.IntVar(&cfg.sample, "sample", 0, "record wear telemetry every N recompile epochs during the sweeps (0 disables; series exported on exit, live at -serve /series and /wear.png)")
 	flag.Parse()
 	if *quick {
 		cfg.iters = 2000
@@ -112,7 +120,8 @@ func main() {
 		"out": cfg.out, "lanes": cfg.lanes, "rows": cfg.rows,
 		"iters": cfg.iters, "recompile": cfg.recompile, "trials": cfg.trials,
 		"heatdim": cfg.heatDim, "heatscale": cfg.heatScale, "workers": cfg.workers,
-		"quick": *quick,
+		"sample": cfg.sample,
+		"quick":  *quick,
 	}, cfg.seed, os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -49,7 +49,8 @@ func runSweeps(cfg config) error {
 		return err
 	}
 	opt := pimOptions(cfg)
-	rc := pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed, Workers: cfg.workers}
+	rc := pim.RunConfig{Iterations: cfg.iters, RecompileEvery: cfg.recompile, Seed: cfg.seed,
+		Workers: cfg.workers, SampleEvery: cfg.sample}
 
 	table3 := report.NewTable("Table 3 — lane utilization and best lifetime improvement",
 		"benchmark", "avg lane utilization", "lifetime improvement", "best config",

@@ -3,6 +3,13 @@
 // array lifetime (Eq. 4). Optionally it writes the distribution heatmap.
 //
 //	pimsim -bench dot -within Ra -between Bs -hw -iters 10000 -png dot.png
+//
+// With -sample N it records a per-epoch wear trajectory (exported as
+// series_*.{csv,json} on exit), and with -serve addr the run is
+// observable live: /metrics (Prometheus text), /series (JSON), and
+// /wear.png (the current write-distribution heatmap).
+//
+//	pimsim -bench mult -iters 100000 -sample 10 -serve localhost:6060
 package main
 
 import (
@@ -32,6 +39,7 @@ func main() {
 	hw := flag.Bool("hw", false, "enable hardware free-bit renaming")
 	iters := flag.Int("iters", 10000, "benchmark iterations")
 	recompile := flag.Int("recompile", 100, "software re-mapping period")
+	sample := flag.Int("sample", 0, "record wear telemetry every N recompile epochs (0 disables; series exported on exit, live at -serve /series and /wear.png)")
 	seed := flag.Int64("seed", 1, "random seed")
 	tech := flag.String("tech", "MRAM", "technology: MRAM, RRAM, PCM, MRAM-projected")
 	pngPath := flag.String("png", "", "write distribution heatmap PNG to this path")
@@ -68,7 +76,8 @@ func main() {
 		log.Fatalf("unknown technology %q", *tech)
 	}
 
-	res, err := pim.Run(bench, opt, pim.RunConfig{Iterations: *iters, RecompileEvery: *recompile, Seed: *seed},
+	res, err := pim.Run(bench, opt,
+		pim.RunConfig{Iterations: *iters, RecompileEvery: *recompile, Seed: *seed, SampleEvery: *sample},
 		strat, technology)
 	if err != nil {
 		log.Fatal(err)
@@ -127,7 +136,7 @@ func main() {
 	if err := run.Finish(*manifestDir, map[string]any{
 		"bench": *benchName, "bits": *bits, "lanes": *lanes, "rows": *rows,
 		"within": *within, "between": *between, "hw": *hw,
-		"iters": *iters, "recompile": *recompile, "tech": *tech,
+		"iters": *iters, "recompile": *recompile, "sample": *sample, "tech": *tech,
 	}, *seed, os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -68,7 +68,7 @@ type Runner struct {
 	trace  *program.Trace
 	mapper Mapper
 	data   DataFunc
-	out    [][]bool // [readSlot][logical lane]
+	out    [][]bool     // [readSlot][logical lane]
 	pk     *packedState // nil on scalar runners
 }
 

@@ -131,6 +131,13 @@ type SimConfig struct {
 	// ≤ 0 selects runtime.GOMAXPROCS(0). The accumulated distribution is
 	// bit-identical for every worker count.
 	Workers int
+	// Sampler, when non-nil, observes the accumulating distribution after
+	// each sampled recompile epoch (wear telemetry). The engines then
+	// accumulate in epoch order — the +Hw path switches to the sampled
+	// engine, which prefetches replay jobs in parallel but lands them
+	// serially — so every sample is a true prefix of the final
+	// distribution. Results stay bit-identical to the unsampled engines.
+	Sampler *WearSampler
 }
 
 func (c SimConfig) recompileEvery() int {
@@ -258,9 +265,15 @@ func Simulate(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (*WriteDis
 		Within: strat.Within, Between: strat.Between,
 		Seed: cfg.Seed, ShiftStep: cfg.ShiftStep,
 	}
-	if strat.Hw {
+	if cfg.Sampler != nil {
+		cfg.Sampler.bind(cfg.Iterations)
+	}
+	switch {
+	case strat.Hw && cfg.Sampler != nil:
+		simulateHwSampled(tr, cfg, sched, dist)
+	case strat.Hw:
 		simulateHw(tr, cfg, sched, dist)
-	} else {
+	default:
 		simulateSoftware(tr, cfg, sched, dist)
 	}
 	if obs.Enabled() {
@@ -305,6 +318,7 @@ func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, 
 	}
 
 	every := cfg.recompileEvery()
+	totalEpochs := (cfg.Iterations + every - 1) / every
 	epochs := 0
 	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
 		epochs++
@@ -323,6 +337,9 @@ func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, 
 					dst[between.Apply(l)] += uint64(c) * uint64(n)
 				}
 			}
+		}
+		if cfg.Sampler != nil && cfg.Sampler.due(epoch, totalEpochs-1) {
+			cfg.Sampler.Sample(epoch, start+n, dist)
 		}
 	}
 	obsEpochs.Add(int64(epochs))

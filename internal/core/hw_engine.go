@@ -214,65 +214,15 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 
 	pool.ForEachWorker(workers, len(jobs), func(slot, j int) {
 		job := jobs[j]
-		// One op-by-op iteration is replayed to record the orbit starts;
-		// the remaining n−1 iterations of the epoch are reconstructed in
-		// closed form by accumulateClosedCycle.
-		obsHwReplayIters.Add(1)
-		obsHwReplayItersSaved.Add(int64(len(job.epochs))*int64(job.n) - 1)
 		hist := hists[slot]
-		for i := range hist {
-			hist[i] = 0
-		}
-		// The within permutation is loop-invariant across the epoch's
-		// iterations: resolve each op's architectural row once.
-		within := sched.EpochWithin(job.epoch0)
-		arch := archRows[slot]
-		for i, op := range ops {
-			arch[i] = int32(within.Apply(int(op.row)))
-		}
-		hw := renamers[slot]
-		hw.Reset()
-		cyc := cycles[slot]
-		// Recording pass — iteration 0. Each op's physical row in this
-		// iteration is its orbit start u; the renamer then holds the
-		// iteration permutation σ.
-		for i, op := range ops {
-			if op.full {
-				cyc.starts[i] = int32(hw.RenameOnWrite(int(arch[i])))
-			} else {
-				cyc.starts[i] = int32(hw.Lookup(int(arch[i])))
-			}
-		}
-		cyc.decompose(hw)
-		// The job's permutation is the trace-level one conjugated by the
-		// within map, so its order must match the analytic period; a
-		// mismatch means the closed form below would be wrong.
-		if cyc.period != period {
-			panic("core: +Hw job cycle period diverges from the analytic trace period")
-		}
-		accumulateClosedCycle(ops, cyc, uint64(job.n), rows, hist)
+		replayJobHist(ops, sched, job, period, rows, archRows[slot], renamers[slot], cycles[slot], hist)
 		// Multiply-accumulate the shared histogram into the member
 		// epochs. Epochs whose between-lane permutations also coincide
 		// (St always, Bs once its rotation cycles) collapse into a
 		// single accumulation scaled by their multiplicity.
 		counts := parts[slot]
 		for _, g := range groupByBetween(sched, job.epochs) {
-			between := sched.EpochBetween(g.epoch0)
-			mult := uint64(g.count)
-			for m := 0; m < nMasks; m++ {
-				lanesOf := maskLanes[m]
-				for r := 0; r < rows; r++ {
-					c := hist[m*rows+r]
-					if c == 0 {
-						continue
-					}
-					c *= mult
-					dst := counts[r*lanes:]
-					for _, l := range lanesOf {
-						dst[between.Apply(l)] += c
-					}
-				}
-			}
+			addHist(hist, maskLanes, rows, lanes, sched.EpochBetween(g.epoch0), uint64(g.count), counts)
 		}
 	})
 
@@ -280,6 +230,71 @@ func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *
 		for i, c := range parts[w] {
 			if c != 0 {
 				dist.Counts[i] += c
+			}
+		}
+	}
+}
+
+// replayJobHist fills hist[mask*rows+physRow] with the exact histogram of
+// one member epoch of job, in closed-cycle form: one op-by-op iteration is
+// replayed to record the orbit starts (the remaining n−1 iterations are
+// reconstructed by accumulateClosedCycle), so the per-job work is
+// O(ops × min(cycleLen, n)) regardless of epoch length. arch, hw and cyc
+// are caller-owned scratch, reusable across jobs; hist is zeroed here.
+// period is the analytic renamer period every job must reproduce.
+func replayJobHist(ops []wop, sched mapping.Schedule, job hwJob, period, rows int,
+	arch []int32, hw *mapping.HwRenamer, cyc *cycleScratch, hist []uint64) {
+	sp := obs.StartSpan("core.hw.job")
+	defer sp.End()
+	obsHwReplayIters.Add(1)
+	obsHwReplayItersSaved.Add(int64(len(job.epochs))*int64(job.n) - 1)
+	for i := range hist {
+		hist[i] = 0
+	}
+	// The within permutation is loop-invariant across the epoch's
+	// iterations: resolve each op's architectural row once.
+	within := sched.EpochWithin(job.epoch0)
+	for i, op := range ops {
+		arch[i] = int32(within.Apply(int(op.row)))
+	}
+	hw.Reset()
+	// Recording pass — iteration 0. Each op's physical row in this
+	// iteration is its orbit start u; the renamer then holds the
+	// iteration permutation σ.
+	for i, op := range ops {
+		if op.full {
+			cyc.starts[i] = int32(hw.RenameOnWrite(int(arch[i])))
+		} else {
+			cyc.starts[i] = int32(hw.Lookup(int(arch[i])))
+		}
+	}
+	cyc.decompose(hw)
+	// The job's permutation is the trace-level one conjugated by the
+	// within map, so its order must match the analytic period; a
+	// mismatch means the closed form would be wrong.
+	if cyc.period != period {
+		panic("core: +Hw job cycle period diverges from the analytic trace period")
+	}
+	accumulateClosedCycle(ops, cyc, uint64(job.n), rows, hist)
+}
+
+// addHist accumulates a per-(mask, physical row) histogram into a
+// distribution's counts through one between-lane permutation, scaled by
+// mult (the number of epochs sharing both the histogram and the
+// permutation).
+func addHist(hist []uint64, maskLanes [][]int, rows, lanes int, between *mapping.Perm, mult uint64, counts []uint64) {
+	nMasks := len(maskLanes)
+	for m := 0; m < nMasks; m++ {
+		lanesOf := maskLanes[m]
+		for r := 0; r < rows; r++ {
+			c := hist[m*rows+r]
+			if c == 0 {
+				continue
+			}
+			c *= mult
+			dst := counts[r*lanes:]
+			for _, l := range lanesOf {
+				dst[between.Apply(l)] += c
 			}
 		}
 	}

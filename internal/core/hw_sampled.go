@@ -1,0 +1,155 @@
+// The sampled +Hw wear engine: bit-identical to simulateHw, but
+// accumulation proceeds in epoch order so a WearSampler can observe the
+// true prefix distribution after every recompile epoch.
+//
+// The parallel engine (hw_engine.go) drains unique replay jobs in
+// arbitrary worker order, so the distribution never passes through
+// per-epoch prefix states. This variant splits the two concerns: job
+// histograms are still replayed in parallel — in batches, prefetched
+// just ahead of the serial epoch walk — while the walk itself
+// accumulates through the between-lane permutations one inter-sample
+// segment at a time, collapsing each job's segment epochs by
+// permutation equality exactly as simulateHw does across whole jobs.
+// Memoization, closed-cycle replay and bounded parallelism are all
+// preserved; because job histograms land via commutative uint64
+// addition, the final distribution is bit-identical to simulateHw (and
+// SimulateReference) for every worker count and sampling cadence.
+//
+// Memory stays bounded: at most one prefetch batch of histograms is live
+// beyond those still awaiting later member epochs, and a job's histogram
+// is freed as soon as its last member epoch has been accumulated.
+package core
+
+import (
+	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
+	"pimendure/internal/pool"
+	"pimendure/internal/program"
+)
+
+// hwPrefetchBatches sizes the job prefetch window in units of the worker
+// count: enough look-ahead to keep the pool busy while the epoch walk
+// drains, small enough to bound live histogram memory.
+const hwPrefetchBatches = 4
+
+// simulateHwSampled is simulateHw with epoch-ordered accumulation,
+// feeding cfg.Sampler the prefix distribution after each sampled epoch.
+// Only Simulate calls it, and only when a sampler is attached.
+func simulateHwSampled(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	sp := obs.StartSpan("core.simulate/hw-replay")
+	defer sp.End()
+	sampler := cfg.Sampler
+	lanes := tr.Lanes
+	rows := cfg.Rows
+	ops, maskLanes := flattenOps(tr, cfg.PresetOutputs)
+	nMasks := len(tr.Masks)
+	plan := sp.Child("plan")
+	jobs := planHwEpochs(cfg, sched)
+	var fullRows []int32
+	for _, op := range ops {
+		if op.full {
+			fullRows = append(fullRows, op.row)
+		}
+	}
+	cycle := mapping.AnalyzeRenamerCycle(rows, fullRows)
+	period := cycle.Period
+	plan.End()
+
+	every := cfg.recompileEvery()
+	totalEpochs := (cfg.Iterations + every - 1) / every
+	// Per-epoch job index, and per-job use count so histograms are freed
+	// once their last member epoch is accumulated.
+	jobOf := make([]int, totalEpochs)
+	remaining := make([]int, len(jobs))
+	for j, job := range jobs {
+		remaining[j] = len(job.epochs)
+		for _, e := range job.epochs {
+			jobOf[e] = j
+		}
+	}
+	obsEpochs.Add(int64(totalEpochs))
+	obsHwReplays.Add(int64(len(jobs)))
+	obsHwMemoHits.Add(int64(totalEpochs - len(jobs)))
+	obsHwCycleLen.Add(int64(period))
+
+	workers := pool.Size(cfg.workers(), len(jobs))
+	archRows := make([][]int32, workers)
+	renamers := make([]*mapping.HwRenamer, workers)
+	cycles := make([]*cycleScratch, workers)
+	for w := 0; w < workers; w++ {
+		archRows[w] = make([]int32, len(ops))
+		renamers[w] = mapping.NewHwRenamer(rows)
+		cycles[w] = newCycleScratch(rows, len(ops))
+	}
+
+	// Jobs are indexed in first-seen epoch order, so prefetching a
+	// contiguous prefix is exactly the look-ahead the epoch walk needs:
+	// when epoch e first references job j, every job first seen earlier
+	// has a smaller index and is already replayed.
+	hists := make([][]uint64, len(jobs))
+	nextJob := 0
+	prefetch := func(upTo int) {
+		if upTo > len(jobs) {
+			upTo = len(jobs)
+		}
+		if upTo <= nextJob {
+			return
+		}
+		lo := nextJob
+		pool.ForEachWorker(workers, upTo-lo, func(slot, i int) {
+			j := lo + i
+			hist := make([]uint64, nMasks*rows)
+			replayJobHist(ops, sched, jobs[j], period, rows, archRows[slot], renamers[slot], cycles[slot], hist)
+			hists[j] = hist
+		})
+		nextJob = upTo
+	}
+
+	// The walk advances one inter-sample segment at a time: the sampler
+	// only observes the distribution at segment boundaries, so epochs
+	// inside a segment may accumulate in any order (uint64 adds commute).
+	// That freedom restores simulateHw's grouping — each job's segment
+	// epochs collapse by between-lane permutation into one multiplied
+	// addHist — so the serial accumulation cost scales with the sampling
+	// cadence, not the epoch count. At Every ≤ 1 every segment is a
+	// single epoch and the walk degenerates to per-epoch accumulation.
+	segEpochs := make([][]int, len(jobs))
+	var segJobs []int
+	for start := 0; start < totalEpochs; {
+		end := start
+		for sampler != nil && !sampler.due(end, totalEpochs-1) {
+			end++
+		}
+		segJobs = segJobs[:0]
+		for e := start; e <= end; e++ {
+			j := jobOf[e]
+			if len(segEpochs[j]) == 0 {
+				segJobs = append(segJobs, j)
+			}
+			segEpochs[j] = append(segEpochs[j], e)
+		}
+		// segJobs is in first-touch order, which restricted to not-yet-
+		// replayed jobs is job-index order — the prefetch invariant above.
+		for _, j := range segJobs {
+			if hists[j] == nil {
+				prefetch(nextJob + workers*hwPrefetchBatches)
+			}
+			for _, g := range groupByBetween(sched, segEpochs[j]) {
+				addHist(hists[j], maskLanes, rows, lanes, sched.EpochBetween(g.epoch0), uint64(g.count), dist.Counts)
+			}
+			remaining[j] -= len(segEpochs[j])
+			if remaining[j] == 0 {
+				hists[j] = nil
+			}
+			segEpochs[j] = segEpochs[j][:0]
+		}
+		itersSoFar := (end + 1) * every
+		if itersSoFar > cfg.Iterations {
+			itersSoFar = cfg.Iterations
+		}
+		if sampler != nil {
+			sampler.Sample(end, itersSoFar, dist)
+		}
+		start = end + 1
+	}
+}

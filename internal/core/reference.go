@@ -28,6 +28,9 @@ func SimulateReference(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (
 		Within: strat.Within, Between: strat.Between,
 		Seed: cfg.Seed, ShiftStep: cfg.ShiftStep,
 	}
+	if cfg.Sampler != nil {
+		cfg.Sampler.bind(cfg.Iterations)
+	}
 	if strat.Hw {
 		simulateHwReference(tr, cfg, sched, dist)
 	} else {
@@ -50,6 +53,7 @@ func simulateHwReference(tr *program.Trace, cfg SimConfig, sched mapping.Schedul
 	}
 
 	every := cfg.recompileEvery()
+	totalEpochs := (cfg.Iterations + every - 1) / every
 	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
 		n := every
 		if start+n > cfg.Iterations {
@@ -87,6 +91,9 @@ func simulateHwReference(tr *program.Trace, cfg SimConfig, sched mapping.Schedul
 					dst[between.Apply(l)] += c
 				}
 			}
+		}
+		if cfg.Sampler != nil && cfg.Sampler.due(epoch, totalEpochs-1) {
+			cfg.Sampler.Sample(epoch, start+n, dist)
 		}
 	}
 }

@@ -66,6 +66,23 @@ func (m Model) Estimate(maxWritesPerIteration float64, stepsPerIteration int) (R
 	}, nil
 }
 
+// ProjectIterations extrapolates a live wear sample to Eq. 4's
+// iterations-to-failure: given the hottest cell's accumulated writes
+// after some iterations, it assumes the current per-iteration wear rate
+// holds and returns endurance / (maxWrites/iterations) — the quantity a
+// telemetry sampler can report while a simulation is still running. It
+// returns +Inf when nothing has been written yet (no wear, no failure)
+// and NaN on non-positive iterations or endurance.
+func ProjectIterations(maxWrites float64, iterations int64, endurance float64) float64 {
+	if iterations <= 0 || endurance <= 0 {
+		return math.NaN()
+	}
+	if maxWrites <= 0 {
+		return math.Inf(1)
+	}
+	return endurance / (maxWrites / float64(iterations))
+}
+
 // Improvement returns how much longer a balanced configuration lives than
 // a baseline with the same latency: maxBaseline / maxBalanced (Fig. 17's
 // y-axis). It is NaN if either distribution is empty.

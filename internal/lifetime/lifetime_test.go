@@ -98,3 +98,23 @@ func TestScalingProperties(t *testing.T) {
 		t.Error("lifetime not inverse in max write rate")
 	}
 }
+
+// ProjectIterations extrapolates live wear samples onto Eq. 4: halfway
+// through a run it must predict the same iterations-to-failure as the
+// final estimate when wear accrues linearly.
+func TestProjectIterations(t *testing.T) {
+	// 20 writes to the hottest cell per iteration, endurance 1e9: Eq. 4
+	// gives 5e7 iterations regardless of when we look.
+	if got := ProjectIterations(20*500, 500, 1e9); !almost(got, 5e7, 1e-12) {
+		t.Errorf("mid-run projection = %v, want 5e7", got)
+	}
+	if got := ProjectIterations(20*1000, 1000, 1e9); !almost(got, 5e7, 1e-12) {
+		t.Errorf("end-of-run projection = %v, want 5e7", got)
+	}
+	if got := ProjectIterations(0, 100, 1e9); !math.IsInf(got, 1) {
+		t.Errorf("no wear should project +Inf, got %v", got)
+	}
+	if !math.IsNaN(ProjectIterations(5, 0, 1e9)) || !math.IsNaN(ProjectIterations(5, 10, 0)) {
+		t.Error("degenerate inputs should be NaN")
+	}
+}

@@ -7,11 +7,15 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"strings"
 )
 
-// Run bundles the observability lifecycle every CLI shares: the -pprof
-// and -metrics flags, enabling the layer for the process, and emitting
-// the run manifest. Usage:
+// Run bundles the observability lifecycle every CLI shares: the -pprof,
+// -metrics, -serve and -trace flags, enabling the layer (and the span
+// event ring) for the process, serving live telemetry, and emitting the
+// run manifest plus trace/series artifacts. Usage:
 //
 //	run := obs.NewRun("pimsim", flag.CommandLine)
 //	flag.Parse()
@@ -25,48 +29,107 @@ type Run struct {
 	// Metrics makes Finish print the counter/stage table (set by
 	// -metrics).
 	Metrics bool
+	// ServeAddr, when non-empty, serves live telemetry — /metrics
+	// (Prometheus text), /healthz, /series, /wear.png — on that address
+	// for the duration of the run (set by -serve).
+	ServeAddr string
+	// Trace enables the span event ring and makes Finish write the
+	// Chrome trace_event export to out/trace_<cmd>.json (set by -trace,
+	// default on).
+	Trace bool
 
-	manifest *Manifest
+	manifest  *Manifest
+	pprofLn   net.Listener
+	pprofSrv  *http.Server
+	telemetry *telemetryServer
 }
 
 // NewRun creates the lifecycle for the named command and registers the
-// -pprof and -metrics flags on fs (pass flag.CommandLine for
-// whole-process CLIs, or a subcommand's FlagSet).
+// -pprof, -metrics, -serve and -trace flags on fs (pass flag.CommandLine
+// for whole-process CLIs, or a subcommand's FlagSet).
 func NewRun(cmd string, fs *flag.FlagSet) *Run {
 	r := &Run{manifest: NewManifest(cmd)}
 	fs.StringVar(&r.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.BoolVar(&r.Metrics, "metrics", false, "print the observability counter/stage table at exit")
+	fs.StringVar(&r.ServeAddr, "serve", "", "serve live telemetry (/metrics, /healthz, /series, /wear.png) on this address (e.g. localhost:8090)")
+	fs.BoolVar(&r.Trace, "trace", true, "record span begin/end events and write out/trace_<cmd>.json (Chrome trace_event format)")
 	return r
 }
 
-// Start enables the observability layer and, if -pprof was given, serves
-// the pprof handlers on a dedicated mux in the background. Call it right
-// after flag parsing. The listener is bound synchronously so a bad
-// address errors here; the server itself runs until the process exits.
+// Start enables the observability layer (and, with -trace, the span
+// event ring), then binds the -pprof and -serve servers. Call it right
+// after flag parsing. Listeners are bound synchronously so a bad address
+// errors here; the servers run until Finish.
 func (r *Run) Start() error {
 	Enable()
-	if r.PprofAddr == "" {
-		return nil
+	if r.Trace {
+		EnableEvents(DefaultEventCapacity)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ln, err := net.Listen("tcp", r.PprofAddr)
-	if err != nil {
-		return fmt.Errorf("obs: pprof server on %s: %w", r.PprofAddr, err)
+	if r.PprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", r.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("obs: pprof server on %s: %w", r.PprofAddr, err)
+		}
+		r.pprofLn = ln
+		r.pprofSrv = &http.Server{Handler: mux}
+		go func() { _ = r.pprofSrv.Serve(ln) }() // best-effort debug endpoint
 	}
-	go func() { _ = http.Serve(ln, mux) }() // best-effort debug endpoint
+	if r.ServeAddr != "" {
+		ts, err := startTelemetryServer(r.ServeAddr)
+		if err != nil {
+			r.Close()
+			return err
+		}
+		r.telemetry = ts
+	}
 	return nil
 }
 
+// PprofBound returns the pprof server's bound address ("" when -pprof
+// was not given) — with "-pprof localhost:0" this is where it landed.
+func (r *Run) PprofBound() string {
+	if r.pprofLn == nil {
+		return ""
+	}
+	return r.pprofLn.Addr().String()
+}
+
+// ServeBound returns the telemetry server's bound address ("" when
+// -serve was not given).
+func (r *Run) ServeBound() string {
+	if r.telemetry == nil {
+		return ""
+	}
+	return r.telemetry.Addr()
+}
+
+// Close shuts down the pprof and telemetry servers, if running. Finish
+// calls it; it is safe to call twice.
+func (r *Run) Close() {
+	if r.pprofSrv != nil {
+		_ = r.pprofSrv.Close()
+		r.pprofSrv, r.pprofLn = nil, nil
+	}
+	if r.telemetry != nil {
+		_ = r.telemetry.Close()
+		r.telemetry = nil
+	}
+}
+
 // Finish completes the run: it folds the observability snapshot into the
-// manifest, writes manifest_<cmd>.json under outDir, and — when -metrics
-// was given — prints the counter/stage table to w. config is the CLI's
+// manifest, writes manifest_<cmd>.json under outDir, exports the span
+// event ring as trace_<cmd>.json and every registered Series as
+// series_<name>.{csv,json}, prints the counter/stage table when -metrics
+// was given, and shuts the telemetry servers down. config is the CLI's
 // resolved configuration and seed its random seed (0 if none).
 func (r *Run) Finish(outDir string, config map[string]any, seed int64, w io.Writer) error {
+	defer r.Close()
 	r.manifest.Config = config
 	r.manifest.Seed = seed
 	r.manifest.Finish()
@@ -78,9 +141,62 @@ func (r *Run) Finish(outDir string, config map[string]any, seed int64, w io.Writ
 	if err := r.manifest.WriteFile(outDir); err != nil {
 		return fmt.Errorf("obs: writing manifest: %w", err)
 	}
+	if r.Trace && CaptureEventStats().Recorded > 0 {
+		path := filepath.Join(outDir, "trace_"+r.manifest.Command+".json")
+		if err := writeFileAtomic(path, WriteTrace); err != nil {
+			return fmt.Errorf("obs: writing trace: %w", err)
+		}
+	}
+	for _, s := range AllSeries() {
+		base := filepath.Join(outDir, "series_"+fsSafe(s.Name()))
+		if err := writeFileAtomic(base+".csv", s.WriteCSV); err != nil {
+			return fmt.Errorf("obs: writing series: %w", err)
+		}
+		one := s
+		if err := writeFileAtomic(base+".json", func(w io.Writer) error {
+			data, err := one.MarshalJSON()
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(append(data, '\n'))
+			return err
+		}); err != nil {
+			return fmt.Errorf("obs: writing series: %w", err)
+		}
+	}
 	return nil
 }
 
 // Manifest exposes the run's manifest (tests inspect it; CLIs normally
 // only need Finish).
 func (r *Run) Manifest() *Manifest { return r.manifest }
+
+// fsSafe maps a telemetry name onto the filename alphabet: anything
+// outside [a-zA-Z0-9._+-] becomes '_' ("wear.mult.RaxBs+Hw" survives).
+func fsSafe(name string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '+', c == '-':
+			return c
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// writeFileAtomic streams fn into path's directory, creating it first.
+func writeFileAtomic(path string, fn func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultEventCapacity is the event-ring size Run.Start allocates when
+// span-event recording is enabled (-trace). At two events per span and
+// job-granularity instrumentation it holds the tail of even a paper-scale
+// sweep (~tens of thousands of spans) in a few megabytes.
+const DefaultEventCapacity = 1 << 16
+
+// EventBegin and EventEnd are the two phases an event ring entry can
+// carry, matching the Chrome trace_event "ph" values they export as.
+const (
+	EventBegin = 'B'
+	EventEnd   = 'E'
+)
+
+// Event is one begin/end mark of a named stage on one goroutine: the
+// raw material of the Chrome trace export. TS is nanoseconds since the
+// ring was enabled; TID is the emitting goroutine's id, so concurrent
+// pool workers land on distinct tracks in Perfetto.
+type Event struct {
+	// Name is the stage name (the span's timer name).
+	Name string
+	// Ph is EventBegin or EventEnd.
+	Ph byte
+	// TS is nanoseconds since EnableEvents.
+	TS int64
+	// TID is the goroutine id the event was emitted from.
+	TID int64
+}
+
+// EventStats summarizes the ring for manifests and /metrics: how many
+// events were recorded in total, how many of those the bounded ring had
+// to drop (oldest first), and the ring capacity.
+type EventStats struct {
+	// Recorded counts every event ever pushed since EnableEvents.
+	Recorded uint64 `json:"recorded"`
+	// Dropped counts pushes that overwrote an event the ring no longer
+	// holds — the drop-oldest policy in action.
+	Dropped uint64 `json:"dropped"`
+	// Capacity is the ring size.
+	Capacity int `json:"capacity"`
+}
+
+// events is the process-wide span-event ring. Pushes take the mutex for
+// a four-field copy — "lock-light": recording happens at span (epoch /
+// job) granularity, never in the per-op replay loops, so contention is
+// negligible next to the work a span brackets. The bounded ring
+// overwrites its oldest entry when full and never blocks a worker.
+var events struct {
+	mu    sync.Mutex
+	on    bool
+	buf   []Event
+	head  uint64 // total events ever pushed
+	epoch time.Time
+}
+
+// eventsOn mirrors events.on (kept in sync under events.mu) so the
+// per-span fast path — "are events even being recorded?" — is one atomic
+// load instead of a mutex round-trip on the global ring.
+var eventsOn atomic.Bool
+
+// EnableEvents turns span-event recording on with a fresh ring of the
+// given capacity (≤ 0 selects DefaultEventCapacity). Timestamps are
+// relative to this call. Events only record while the layer itself is
+// enabled too (Enable), since they are emitted by StartSpan/End.
+func EnableEvents(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	events.on = true
+	events.buf = make([]Event, capacity)
+	events.head = 0
+	events.epoch = time.Now()
+	eventsOn.Store(true)
+}
+
+// DisableEvents stops recording; the ring contents stay readable through
+// TraceEvents/WriteTrace until the next EnableEvents.
+func DisableEvents() {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	events.on = false
+	eventsOn.Store(false)
+}
+
+// EventsEnabled reports whether span events are being recorded.
+func EventsEnabled() bool {
+	return eventsOn.Load()
+}
+
+// CaptureEventStats returns the ring's recorded/dropped totals.
+func CaptureEventStats() EventStats {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	return eventStatsLocked()
+}
+
+func eventStatsLocked() EventStats {
+	s := EventStats{Recorded: events.head, Capacity: len(events.buf)}
+	if n := uint64(len(events.buf)); events.head > n {
+		s.Dropped = events.head - n
+	}
+	return s
+}
+
+// recordEvent pushes one begin/end mark onto the ring (drop-oldest).
+// Callers check EventsEnabled-style gating themselves via the tid they
+// carry; a zero tid means "events were off when the span started".
+func recordEvent(ph byte, name string, tid int64) {
+	if !eventsOn.Load() {
+		return
+	}
+	now := time.Now()
+	events.mu.Lock()
+	if !events.on || len(events.buf) == 0 {
+		events.mu.Unlock()
+		return
+	}
+	ts := now.Sub(events.epoch).Nanoseconds()
+	events.buf[events.head%uint64(len(events.buf))] = Event{Name: name, Ph: ph, TS: ts, TID: tid}
+	events.head++
+	events.mu.Unlock()
+}
+
+// eventTID returns the goroutine id to stamp on events, or 0 when the
+// ring is off (the zero tid suppresses the matching End emission).
+func eventTID() int64 {
+	if !eventsOn.Load() {
+		return 0
+	}
+	return goid()
+}
+
+// goid parses the current goroutine's id from runtime.Stack. It costs
+// about a microsecond — paid only while event recording is on, and only
+// at span granularity — and buys per-goroutine tracks in the trace
+// export, which is what makes the pool's parallel schedule readable.
+func goid() int64 {
+	var b [40]byte
+	n := runtime.Stack(b[:], false)
+	// "goroutine 123 [running]:"
+	const prefix = len("goroutine ")
+	var id int64
+	for i := prefix; i < n && b[i] >= '0' && b[i] <= '9'; i++ {
+		id = id*10 + int64(b[i]-'0')
+	}
+	return id
+}
+
+// TraceEvents snapshots the ring in chronological order (oldest first).
+func TraceEvents() []Event {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	n := uint64(len(events.buf))
+	if n == 0 {
+		return nil
+	}
+	count := events.head
+	start := uint64(0)
+	if count > n {
+		start = count - n
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, events.buf[(start+i)%n])
+	}
+	return out
+}
+
+// traceEvent is the Chrome trace_event JSON shape of one Event. Ts is in
+// microseconds as the format requires; pid is constant (one process).
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int64   `json:"tid"`
+}
+
+// traceDoc is the JSON object WriteTrace emits — the "JSON Object
+// Format" of the Chrome trace_event spec, loadable in Perfetto and
+// chrome://tracing.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports the event ring as Chrome trace_event JSON. Begin
+// events whose matching end was emitted after a ring wrap (or vice
+// versa) may appear unpaired; trace viewers tolerate this, closing open
+// slices at the end of the capture.
+func WriteTrace(w io.Writer) error {
+	evs := TraceEvents()
+	doc := traceDoc{TraceEvents: make([]traceEvent, len(evs)), DisplayTimeUnit: "ms"}
+	for i, ev := range evs {
+		doc.TraceEvents[i] = traceEvent{
+			Name: ev.Name,
+			Ph:   string(ev.Ph),
+			Ts:   float64(ev.TS) / 1e3,
+			Pid:  1,
+			Tid:  ev.TID,
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"pimendure/internal/obs"
+)
+
+// withEvents is withObs plus span-event recording at the given capacity.
+func withEvents(t *testing.T, capacity int, fn func()) {
+	t.Helper()
+	withObs(t, func() {
+		obs.EnableEvents(capacity)
+		defer obs.DisableEvents()
+		fn()
+	})
+}
+
+// Spans must emit paired begin/end events carrying the stage name and a
+// consistent goroutine id, in chronological order.
+func TestEventRingRecordsSpans(t *testing.T) {
+	withEvents(t, 64, func() {
+		sp := obs.StartSpan("ev.stage")
+		child := sp.Child("inner")
+		child.End()
+		sp.End()
+		evs := obs.TraceEvents()
+		if len(evs) != 4 {
+			t.Fatalf("got %d events, want 4: %+v", len(evs), evs)
+		}
+		wantNames := []string{"ev.stage", "ev.stage/inner", "ev.stage/inner", "ev.stage"}
+		wantPh := []byte{obs.EventBegin, obs.EventBegin, obs.EventEnd, obs.EventEnd}
+		for i, ev := range evs {
+			if ev.Name != wantNames[i] || ev.Ph != wantPh[i] {
+				t.Errorf("event %d = {%q %c}, want {%q %c}", i, ev.Name, ev.Ph, wantNames[i], wantPh[i])
+			}
+			if ev.TID != evs[0].TID {
+				t.Errorf("event %d on tid %d, want all on %d (single goroutine)", i, ev.TID, evs[0].TID)
+			}
+			if i > 0 && ev.TS < evs[i-1].TS {
+				t.Errorf("event %d timestamp regresses: %d after %d", i, ev.TS, evs[i-1].TS)
+			}
+		}
+		st := obs.CaptureEventStats()
+		if st.Recorded != 4 || st.Dropped != 0 || st.Capacity != 64 {
+			t.Errorf("stats = %+v, want recorded 4, dropped 0, capacity 64", st)
+		}
+	})
+}
+
+// The bounded ring drops oldest entries and never grows: overflowing it
+// must keep exactly the newest `capacity` events and account the rest as
+// dropped.
+func TestEventRingDropOldest(t *testing.T) {
+	withEvents(t, 8, func() {
+		for i := 0; i < 10; i++ {
+			obs.StartSpan("ev.overflow").End() // 2 events each
+		}
+		st := obs.CaptureEventStats()
+		if st.Recorded != 20 {
+			t.Fatalf("recorded %d, want 20", st.Recorded)
+		}
+		if st.Dropped != 12 {
+			t.Errorf("dropped %d, want 12", st.Dropped)
+		}
+		evs := obs.TraceEvents()
+		if len(evs) != 8 {
+			t.Fatalf("ring holds %d events, want capacity 8", len(evs))
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].TS < evs[i-1].TS {
+				t.Errorf("post-wrap snapshot out of order at %d", i)
+			}
+		}
+	})
+}
+
+// Concurrent span emission from many goroutines must be safe (this test
+// is the heart of the `go test -race ./internal/obs` gate) and lose no
+// events while the ring has room.
+func TestEventRingConcurrent(t *testing.T) {
+	const goroutines, spans = 8, 50
+	withEvents(t, 2*goroutines*spans, func() {
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer wg.Done()
+				for i := 0; i < spans; i++ {
+					obs.StartSpan("ev.concurrent").End()
+				}
+			}()
+		}
+		wg.Wait()
+		st := obs.CaptureEventStats()
+		if want := uint64(2 * goroutines * spans); st.Recorded != want || st.Dropped != 0 {
+			t.Errorf("stats = %+v, want recorded %d dropped 0", st, want)
+		}
+		// Each goroutine's events must carry its own id — the trace
+		// viewer's per-track invariant.
+		tids := map[int64]int{}
+		for _, ev := range obs.TraceEvents() {
+			tids[ev.TID]++
+		}
+		if len(tids) != goroutines {
+			t.Errorf("events span %d goroutine ids, want %d", len(tids), goroutines)
+		}
+		for tid, n := range tids {
+			if n != 2*spans {
+				t.Errorf("tid %d has %d events, want %d", tid, n, 2*spans)
+			}
+		}
+	})
+}
+
+// Spans started while the ring is off must stay invisible — including
+// their End, even if recording turns on mid-span.
+func TestEventsOffNoRecord(t *testing.T) {
+	withObs(t, func() {
+		sp := obs.StartSpan("ev.dark")
+		obs.EnableEvents(16)
+		defer obs.DisableEvents()
+		sp.End()
+		if evs := obs.TraceEvents(); len(evs) != 0 {
+			t.Errorf("span started before EnableEvents leaked %d events", len(evs))
+		}
+	})
+}
+
+// WriteTrace must emit the Chrome trace_event JSON Object Format:
+// a traceEvents array of {name, ph, ts, pid, tid} objects with
+// microsecond timestamps, loadable by Perfetto / chrome://tracing.
+func TestWriteTraceSchema(t *testing.T) {
+	withEvents(t, 64, func() {
+		sp := obs.StartSpan("trace.stage")
+		sp.Child("step").End()
+		sp.End()
+		var buf bytes.Buffer
+		if err := obs.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string   `json:"name"`
+				Ph   string   `json:"ph"`
+				Ts   *float64 `json:"ts"`
+				Pid  *int     `json:"pid"`
+				Tid  *int64   `json:"tid"`
+			} `json:"traceEvents"`
+			DisplayTimeUnit string `json:"displayTimeUnit"`
+		}
+		dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&doc); err != nil {
+			t.Fatalf("trace JSON does not match the trace_event schema: %v\n%s", err, buf.String())
+		}
+		if doc.DisplayTimeUnit != "ms" {
+			t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+		}
+		if len(doc.TraceEvents) != 4 {
+			t.Fatalf("trace has %d events, want 4", len(doc.TraceEvents))
+		}
+		opens := 0
+		for i, ev := range doc.TraceEvents {
+			if ev.Name == "" {
+				t.Errorf("event %d: empty name", i)
+			}
+			switch ev.Ph {
+			case "B":
+				opens++
+			case "E":
+				opens--
+			default:
+				t.Errorf("event %d: ph = %q, want B or E", i, ev.Ph)
+			}
+			if ev.Ts == nil || *ev.Ts < 0 {
+				t.Errorf("event %d: missing or negative ts", i)
+			}
+			if ev.Pid == nil || ev.Tid == nil {
+				t.Errorf("event %d: missing pid/tid", i)
+			}
+			if opens < 0 {
+				t.Errorf("event %d: end before begin on a single-goroutine trace", i)
+			}
+		}
+		if opens != 0 {
+			t.Errorf("trace leaves %d slices open", opens)
+		}
+	})
+}
+
+// The registry refuses one name registered as two metric kinds.
+func TestRegistryKindGuard(t *testing.T) {
+	withObs(t, func() {
+		obs.GetCounter("guard.metric")
+		defer func() {
+			if recover() == nil {
+				t.Error("GetGauge on a counter name did not panic")
+			}
+		}()
+		obs.GetGauge("guard.metric")
+	})
+}
+
+// Timers carry a longest-single-span watermark alongside the totals.
+func TestTimerMaxWatermark(t *testing.T) {
+	withObs(t, func() {
+		for i := 0; i < 3; i++ {
+			sp := obs.StartSpan("wm.stage")
+			busy := 0
+			for j := 0; j < (i+1)*1000; j++ {
+				busy += j
+			}
+			_ = busy
+			sp.End()
+		}
+		var st *obs.Stage
+		for _, s := range obs.Capture().Stages {
+			if s.Name == "wm.stage" {
+				c := s
+				st = &c
+			}
+		}
+		if st == nil {
+			t.Fatal("stage not captured")
+		}
+		if st.MaxSeconds <= 0 {
+			t.Error("max watermark not recorded")
+		}
+		if st.MaxSeconds > st.Seconds {
+			t.Errorf("max span %v exceeds total %v", st.MaxSeconds, st.Seconds)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteTable(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(buf.Bytes(), []byte("max span")) {
+			t.Errorf("-metrics table lacks the max span column:\n%s", buf.String())
+		}
+	})
+}

@@ -43,6 +43,9 @@ type Manifest struct {
 	Stages   []Stage          `json:"stages,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Events summarizes the span-event ring (recorded/dropped/capacity)
+	// when event recording was on during the run.
+	Events *EventStats `json:"events,omitempty"`
 }
 
 // NewManifest starts a manifest for the named command, stamping the
@@ -65,6 +68,9 @@ func (m *Manifest) Finish() {
 	m.WallSeconds = m.End.Sub(m.Start).Seconds()
 	s := Capture()
 	m.Stages, m.Counters, m.Gauges = s.Stages, s.Counters, s.Gauges
+	if es := CaptureEventStats(); es.Recorded > 0 {
+		m.Events = &es
+	}
 }
 
 // Path returns the file the manifest lands in under dir:

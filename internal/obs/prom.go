@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// promName sanitizes a registry name into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:] ("core.hw.replay_iters_saved" →
+// "core_hw_replay_iters_saved"). The original dotted name is preserved
+// in the metric's HELP line.
+func promName(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9' && i > 0:
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// promMetric is one exposition family: HELP (carrying the original
+// registry name), TYPE, and a single sample.
+type promMetric struct {
+	name string // sanitized
+	help string // original registry name + kind
+	typ  string // "counter" | "gauge"
+	val  float64
+}
+
+// WritePrometheus renders every registered counter, gauge and timer in
+// the Prometheus text exposition format (version 0.0.4) — the payload
+// behind the -serve /metrics endpoint. Unlike Capture it includes
+// zero-valued metrics, so a scrape early in a run already shows the full
+// metric set. Each timer exports three families: <name>_seconds_total,
+// <name>_spans_total and <name>_max_seconds.
+func WritePrometheus(w io.Writer) error {
+	registry.mu.Lock()
+	metrics := make([]promMetric, 0, len(registry.counters)+len(registry.gauges)+3*len(registry.timers))
+	for name, c := range registry.counters {
+		metrics = append(metrics, promMetric{
+			name: promName(name), help: name + " (counter)", typ: "counter", val: float64(c.v.Load()),
+		})
+	}
+	for name, g := range registry.gauges {
+		metrics = append(metrics, promMetric{
+			name: promName(name), help: name + " (max watermark gauge)", typ: "gauge", val: float64(g.max.Load()),
+		})
+	}
+	for name, t := range registry.timers {
+		base := promName(name)
+		metrics = append(metrics,
+			promMetric{name: base + "_seconds_total", help: name + " summed span wall time (timer)",
+				typ: "counter", val: time.Duration(t.ns.Load()).Seconds()},
+			promMetric{name: base + "_spans_total", help: name + " completed spans (timer)",
+				typ: "counter", val: float64(t.count.Load())},
+			promMetric{name: base + "_max_seconds", help: name + " longest single span (timer)",
+				typ: "gauge", val: time.Duration(t.maxNS.Load()).Seconds()},
+		)
+	}
+	registry.mu.Unlock()
+
+	es := CaptureEventStats()
+	metrics = append(metrics,
+		promMetric{name: "obs_events_recorded_total", help: "span events recorded on the event ring",
+			typ: "counter", val: float64(es.Recorded)},
+		promMetric{name: "obs_events_dropped_total", help: "span events dropped by the bounded ring (drop-oldest)",
+			typ: "counter", val: float64(es.Dropped)},
+	)
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			m.name, m.help, m.name, m.typ, m.name, m.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

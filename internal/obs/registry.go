@@ -16,20 +16,35 @@ var registry = struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	kinds    map[string]string // name -> "counter" | "gauge" | "timer"
 }{
 	counters: map[string]*Counter{},
 	gauges:   map[string]*Gauge{},
 	timers:   map[string]*Timer{},
+	kinds:    map[string]string{},
+}
+
+// claimName records a name's kind, panicking when the name is already
+// registered as a different kind. Without the guard a counter and a
+// gauge sharing one name would silently diverge into two manifest
+// entries; the registry refuses instead, loudly, at registration time.
+func claimName(name, kind string) {
+	if prev, ok := registry.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: metric name %q already registered as a %s, cannot re-register as a %s", name, prev, kind))
+	}
+	registry.kinds[name] = kind
 }
 
 // GetCounter returns the process-wide counter with the given name,
 // creating and registering it on first use. Typically called once at
-// package init and kept in a var.
+// package init and kept in a var. Registering a name already held by a
+// gauge or timer panics.
 func GetCounter(name string) *Counter {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
 	c, ok := registry.counters[name]
 	if !ok {
+		claimName(name, "counter")
 		c = &Counter{name: name}
 		registry.counters[name] = c
 	}
@@ -37,12 +52,14 @@ func GetCounter(name string) *Counter {
 }
 
 // GetGauge returns the process-wide max-watermark gauge with the given
-// name, creating it on first use.
+// name, creating it on first use. Registering a name already held by a
+// counter or timer panics.
 func GetGauge(name string) *Gauge {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
 	g, ok := registry.gauges[name]
 	if !ok {
+		claimName(name, "gauge")
 		g = &Gauge{name: name}
 		registry.gauges[name] = g
 	}
@@ -56,6 +73,7 @@ func getTimer(name string) *Timer {
 	defer registry.mu.Unlock()
 	t, ok := registry.timers[name]
 	if !ok {
+		claimName(name, "timer")
 		t = &Timer{name: name}
 		registry.timers[name] = t
 	}
@@ -78,15 +96,19 @@ func Reset() {
 	for _, t := range registry.timers {
 		t.count.Store(0)
 		t.ns.Store(0)
+		t.maxNS.Store(0)
 	}
+	resetSeries()
 }
 
 // Stage is one named timer's totals inside a Snapshot or Manifest:
-// how many spans completed under the name and their summed wall time.
+// how many spans completed under the name, their summed wall time, and
+// the longest single span (the outlier watermark).
 type Stage struct {
-	Name    string  `json:"name"`
-	Count   int64   `json:"count"`
-	Seconds float64 `json:"seconds"`
+	Name       string  `json:"name"`
+	Count      int64   `json:"count"`
+	Seconds    float64 `json:"seconds"`
+	MaxSeconds float64 `json:"max_seconds,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of the whole registry, safe to use
@@ -118,9 +140,10 @@ func Capture() Snapshot {
 	for name, t := range registry.timers {
 		if n := t.count.Load(); n != 0 {
 			s.Stages = append(s.Stages, Stage{
-				Name:    name,
-				Count:   n,
-				Seconds: time.Duration(t.ns.Load()).Seconds(),
+				Name:       name,
+				Count:      n,
+				Seconds:    time.Duration(t.ns.Load()).Seconds(),
+				MaxSeconds: time.Duration(t.maxNS.Load()).Seconds(),
 			})
 		}
 	}
@@ -133,12 +156,13 @@ func Capture() Snapshot {
 func WriteTable(w io.Writer) error {
 	s := Capture()
 	if len(s.Stages) > 0 {
-		if _, err := fmt.Fprintf(w, "%-40s %10s %14s\n", "stage", "spans", "total"); err != nil {
+		if _, err := fmt.Fprintf(w, "%-40s %10s %14s %14s\n", "stage", "spans", "total", "max span"); err != nil {
 			return err
 		}
 		for _, st := range s.Stages {
 			d := time.Duration(st.Seconds * float64(time.Second)).Round(time.Microsecond)
-			if _, err := fmt.Fprintf(w, "%-40s %10d %14s\n", st.Name, st.Count, d); err != nil {
+			m := time.Duration(st.MaxSeconds * float64(time.Second)).Round(time.Microsecond)
+			if _, err := fmt.Fprintf(w, "%-40s %10d %14s %14s\n", st.Name, st.Count, d, m); err != nil {
 				return err
 			}
 		}

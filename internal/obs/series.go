@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Series is a named, append-only time series with fixed columns — the
+// telemetry shape behind per-epoch wear trajectories. Unlike counters
+// and spans it is not gated on the enabled flag: a series only exists
+// because a caller explicitly asked for sampling, so every Add records.
+// All methods are safe for concurrent use.
+type Series struct {
+	name string
+	cols []string
+
+	mu      sync.Mutex
+	samples [][]float64
+}
+
+// seriesRegistry holds every live series so the /series endpoint and
+// Run.Finish can export them without threading handles through the CLIs.
+var seriesRegistry = struct {
+	mu     sync.Mutex
+	byName map[string]*Series
+}{byName: map[string]*Series{}}
+
+// NewSeries creates and registers a series with the given column names.
+// A series already registered under the same name is replaced — a new
+// run of the same configuration starts a fresh trajectory.
+func NewSeries(name string, cols ...string) *Series {
+	s := &Series{name: name, cols: append([]string(nil), cols...)}
+	seriesRegistry.mu.Lock()
+	seriesRegistry.byName[name] = s
+	seriesRegistry.mu.Unlock()
+	return s
+}
+
+// AllSeries returns the registered series sorted by name.
+func AllSeries() []*Series {
+	seriesRegistry.mu.Lock()
+	out := make([]*Series, 0, len(seriesRegistry.byName))
+	for _, s := range seriesRegistry.byName {
+		out = append(out, s)
+	}
+	seriesRegistry.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// resetSeries empties the registry (called from Reset; the Series
+// handles themselves stay usable but are no longer exported).
+func resetSeries() {
+	seriesRegistry.mu.Lock()
+	seriesRegistry.byName = map[string]*Series{}
+	seriesRegistry.mu.Unlock()
+}
+
+// Name returns the series' registry name.
+func (s *Series) Name() string { return s.name }
+
+// Columns returns the column names.
+func (s *Series) Columns() []string { return append([]string(nil), s.cols...) }
+
+// Add appends one sample. The value count must match the column count.
+func (s *Series) Add(vals ...float64) {
+	if len(vals) != len(s.cols) {
+		panic(fmt.Sprintf("obs: series %q: %d values for %d columns", s.name, len(vals), len(s.cols)))
+	}
+	row := append([]float64(nil), vals...)
+	s.mu.Lock()
+	s.samples = append(s.samples, row)
+	s.mu.Unlock()
+}
+
+// Len returns the number of samples recorded so far.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Last returns a copy of the most recent sample, or nil when empty.
+func (s *Series) Last() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return nil
+	}
+	return append([]float64(nil), s.samples[len(s.samples)-1]...)
+}
+
+// Samples returns a copy of all samples in record order.
+func (s *Series) Samples() [][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]float64, len(s.samples))
+	for i, row := range s.samples {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Column returns a copy of one column's values by name, or nil when the
+// column does not exist.
+func (s *Series) Column(name string) []float64 {
+	idx := -1
+	for i, c := range s.cols {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.samples))
+	for i, row := range s.samples {
+		out[i] = row[idx]
+	}
+	return out
+}
+
+// WriteCSV writes the series as CSV with a header row.
+func (s *Series) WriteCSV(w io.Writer) error {
+	for i, c := range s.cols {
+		sep := ","
+		if i == len(s.cols)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", c, sep); err != nil {
+			return err
+		}
+	}
+	for _, row := range s.Samples() {
+		for i, v := range row {
+			sep := ","
+			if i == len(row)-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(w, "%g%s", v, sep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seriesJSON is the exported JSON shape of one series.
+type seriesJSON struct {
+	Name    string      `json:"name"`
+	Columns []string    `json:"columns"`
+	Samples [][]float64 `json:"samples"`
+}
+
+// MarshalJSON exports the series as {name, columns, samples}.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesJSON{Name: s.name, Columns: s.Columns(), Samples: s.Samples()})
+}
+
+// WriteSeriesJSON writes every registered series as one JSON array —
+// the /series endpoint's payload and the series_*.json artifact shape.
+func WriteSeriesJSON(w io.Writer) error {
+	all := AllSeries()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
+}

@@ -1,0 +1,110 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pimendure/internal/obs"
+)
+
+// Series record independently of the enabled flag, export as CSV and
+// JSON, and register for process-wide discovery.
+func TestSeriesRecordAndExport(t *testing.T) {
+	obs.Reset()
+	defer obs.Reset()
+	s := obs.NewSeries("test.series.b", "x", "y")
+	obs.NewSeries("test.series.a", "v")
+	s.Add(1, 2)
+	s.Add(3, 4.5)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if last := s.Last(); last[0] != 3 || last[1] != 4.5 {
+		t.Errorf("last = %v", last)
+	}
+	if col := s.Column("y"); len(col) != 2 || col[1] != 4.5 {
+		t.Errorf("column y = %v", col)
+	}
+	if s.Column("nope") != nil {
+		t.Error("unknown column should be nil")
+	}
+
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n3,4.5\n"
+	if csv.String() != want {
+		t.Errorf("CSV = %q, want %q", csv.String(), want)
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Name    string      `json:"name"`
+		Columns []string    `json:"columns"`
+		Samples [][]float64 `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "test.series.b" || len(back.Columns) != 2 || len(back.Samples) != 2 {
+		t.Errorf("JSON roundtrip = %+v", back)
+	}
+
+	all := obs.AllSeries()
+	if len(all) != 2 || all[0].Name() != "test.series.a" || all[1].Name() != "test.series.b" {
+		t.Errorf("AllSeries not sorted complete: %v", all)
+	}
+
+	var blob bytes.Buffer
+	if err := obs.WriteSeriesJSON(&blob); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(blob.String(), "test.series.a") || !strings.Contains(blob.String(), "test.series.b") {
+		t.Errorf("series JSON missing entries:\n%s", blob.String())
+	}
+
+	// Reset empties the registry; the handle survives.
+	obs.Reset()
+	if len(obs.AllSeries()) != 0 {
+		t.Error("Reset did not clear the series registry")
+	}
+	s.Add(5, 6)
+	if s.Len() != 3 {
+		t.Error("series handle unusable after Reset")
+	}
+}
+
+// Arity mismatches are programming errors and must fail loudly.
+func TestSeriesArityPanics(t *testing.T) {
+	obs.Reset()
+	defer obs.Reset()
+	s := obs.NewSeries("test.arity", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with wrong arity did not panic")
+		}
+	}()
+	s.Add(1)
+}
+
+// Re-registering a name starts a fresh trajectory (new-run semantics).
+func TestSeriesReplaceOnReregister(t *testing.T) {
+	obs.Reset()
+	defer obs.Reset()
+	old := obs.NewSeries("test.replace", "v")
+	old.Add(1)
+	fresh := obs.NewSeries("test.replace", "v")
+	if fresh.Len() != 0 {
+		t.Error("re-registered series inherited samples")
+	}
+	all := obs.AllSeries()
+	if len(all) != 1 || all[0] != fresh {
+		t.Error("registry did not replace the series")
+	}
+}

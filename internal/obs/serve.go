@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// wearPNG is the pluggable renderer behind /wear.png. The sampling layer
+// (internal/core's WearSampler, wired by pim.Run) registers a closure
+// that renders its latest histogram snapshot; obs itself stays free of
+// image and stats dependencies.
+var wearPNG struct {
+	mu sync.Mutex
+	fn func(io.Writer) error
+}
+
+// SetWearPNG installs the renderer behind the /wear.png endpoint. The
+// most recently registered source wins — in a concurrent sweep every
+// sampled run registers, and the live view follows whichever registered
+// last. Pass nil to uninstall.
+func SetWearPNG(fn func(io.Writer) error) {
+	wearPNG.mu.Lock()
+	wearPNG.fn = fn
+	wearPNG.mu.Unlock()
+}
+
+// telemetryServer is the HTTP server behind -serve: live Prometheus
+// exposition, health, series snapshots and the wear heatmap.
+type telemetryServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startTelemetryServer binds addr synchronously (so a bad address fails
+// at startup) and serves the telemetry endpoints in the background:
+//
+//	/metrics   Prometheus text exposition of every registered metric
+//	/healthz   liveness probe ("ok")
+//	/series    JSON snapshot of every registered Series
+//	/wear.png  latest wear-distribution heatmap (404 until a sampled
+//	           run registers a source via SetWearPNG)
+func startTelemetryServer(addr string) (*telemetryServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteSeriesJSON(w)
+	})
+	mux.HandleFunc("/wear.png", func(w http.ResponseWriter, _ *http.Request) {
+		wearPNG.mu.Lock()
+		fn := wearPNG.fn
+		wearPNG.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "no wear sampler active (run with sampling enabled)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "image/png")
+		_ = fn(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry server on %s: %w", addr, err)
+	}
+	ts := &telemetryServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = ts.srv.Serve(ln) }() // runs until Close
+	return ts, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (t *telemetryServer) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the server and releases its listener.
+func (t *telemetryServer) Close() error { return t.srv.Close() }

@@ -1,0 +1,180 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pimendure/internal/obs"
+
+	// Linking internal/core registers the wear-engine counters
+	// (core.hw.replay_iters_saved et al.), which the /metrics contract
+	// below asserts are exposed even before any simulation ran.
+	_ "pimendure/internal/core"
+)
+
+// get fetches a telemetry endpoint and returns status, content type and
+// body.
+func get(t *testing.T, addr, path string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+// The -serve lifecycle: Start binds the telemetry server, /metrics
+// serves Prometheus text naming the wear-engine counters, /healthz,
+// /series and /wear.png respond per contract, and Finish tears the
+// server down.
+func TestTelemetryServer(t *testing.T) {
+	obs.Reset()
+	defer func() {
+		obs.Disable()
+		obs.SetWearPNG(nil)
+		obs.Reset()
+	}()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	run := obs.NewRun("servetest", fs)
+	if err := fs.Parse([]string{"-serve", "localhost:0", "-trace=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := run.ServeBound()
+	if addr == "" {
+		t.Fatal("ServeBound empty after Start with -serve")
+	}
+
+	code, ctype, body := get(t, addr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	text := string(body)
+	if !strings.Contains(text, "core.hw.replay_iters_saved") {
+		t.Errorf("/metrics does not name core.hw.replay_iters_saved:\n%.400s", text)
+	}
+	if !strings.Contains(text, "\ncore_hw_replay_iters_saved ") {
+		t.Errorf("/metrics lacks the sanitized sample line:\n%.400s", text)
+	}
+
+	code, _, body = get(t, addr, "/healthz")
+	if code != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	obs.NewSeries("serve.series", "v").Add(42)
+	code, ctype, body = get(t, addr, "/series")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/series = %d %q", code, ctype)
+	}
+	var series []struct {
+		Name    string      `json:"name"`
+		Samples [][]float64 `json:"samples"`
+	}
+	if err := json.Unmarshal(body, &series); err != nil {
+		t.Fatalf("/series not JSON: %v", err)
+	}
+	if len(series) != 1 || series[0].Name != "serve.series" || series[0].Samples[0][0] != 42 {
+		t.Errorf("/series payload: %s", body)
+	}
+
+	code, _, _ = get(t, addr, "/wear.png")
+	if code != http.StatusNotFound {
+		t.Errorf("/wear.png before a sampler = %d, want 404", code)
+	}
+	obs.SetWearPNG(func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "\x89PNG fake")
+		return err
+	})
+	code, ctype, body = get(t, addr, "/wear.png")
+	if code != http.StatusOK || ctype != "image/png" || !bytes.HasPrefix(body, []byte("\x89PNG")) {
+		t.Errorf("/wear.png after SetWearPNG = %d %q %q", code, ctype, body)
+	}
+
+	if err := run.Finish(t.TempDir(), nil, 0, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("telemetry server still serving after Finish")
+	}
+}
+
+// The exposition must be well-formed Prometheus text: HELP/TYPE pairs
+// preceding each sample, names restricted to the metric alphabet, and
+// zero-valued metrics included so an early scrape sees the full set.
+func TestWritePrometheusFormat(t *testing.T) {
+	withObs(t, func() {
+		obs.GetCounter("prom.test.zero")
+		obs.GetCounter("prom.test.some").Add(7)
+		obs.GetGauge("prom.test.peak").Observe(9)
+		obs.StartSpan("prom.test.stage").End()
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{
+			"# HELP prom_test_zero prom.test.zero (counter)",
+			"# TYPE prom_test_zero counter",
+			"prom_test_zero 0",
+			"prom_test_some 7",
+			"prom_test_peak 9",
+			"# TYPE prom_test_stage_seconds_total counter",
+			"prom_test_stage_spans_total 1",
+			"# TYPE prom_test_stage_max_seconds gauge",
+			"obs_events_recorded_total",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("exposition missing %q:\n%s", want, out)
+			}
+		}
+		seenHelp := map[string]bool{}
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			if strings.HasPrefix(line, "# HELP ") {
+				seenHelp[strings.Fields(line)[2]] = true
+				continue
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				f := strings.Fields(line)
+				if !seenHelp[f[2]] {
+					t.Errorf("TYPE before HELP: %s", line)
+				}
+				if f[3] != "counter" && f[3] != "gauge" {
+					t.Errorf("bad TYPE: %s", line)
+				}
+				continue
+			}
+			f := strings.Fields(line)
+			if len(f) != 2 {
+				t.Errorf("malformed sample line: %q", line)
+				continue
+			}
+			for i := 0; i < len(f[0]); i++ {
+				c := f[0][i]
+				ok := c == '_' || c == ':' ||
+					(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+					(c >= '0' && c <= '9' && i > 0)
+				if !ok {
+					t.Errorf("metric name %q outside the Prometheus alphabet", f[0])
+					break
+				}
+			}
+		}
+	})
+}

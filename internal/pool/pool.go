@@ -89,6 +89,11 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	for slot := 0; slot < w; slot++ {
 		go func(slot int) {
 			defer wg.Done()
+			// Span per worker goroutine, not per item: the trace then
+			// shows one track per worker with the drain interval, and the
+			// per-item overhead stays off the replay hot path.
+			sp := obs.StartSpan("pool.worker")
+			defer sp.End()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

@@ -56,6 +56,161 @@ func CoV(counts []uint64) float64 {
 	return math.Sqrt(ss/float64(len(counts))) / µ
 }
 
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of the counts by
+// nearest-rank on a quickselect partition — O(n) expected, no full sort,
+// so the telemetry sampler can afford it per epoch on paper-scale
+// (1024×1024) distributions. NaN on empty input.
+func Percentile(counts []uint64, q float64) float64 {
+	v, _ := PercentileReuse(counts, q, nil)
+	return v
+}
+
+// PercentileReuse is Percentile with a caller-provided scratch slice, so
+// per-epoch samplers avoid one allocation per call: work is grown when
+// too small and handed back for the next call. The input is never
+// mutated.
+func PercentileReuse(counts []uint64, q float64, work []uint64) (float64, []uint64) {
+	n := len(counts)
+	if n == 0 {
+		return math.NaN(), work
+	}
+	if cap(work) < n {
+		work = make([]uint64, n)
+	}
+	work = work[:n]
+	copy(work, counts)
+	return float64(quickselect(work, quantileRank(q, n))), work
+}
+
+// RadixBuckets is the histogram width of PercentileRadix and
+// PercentileFromHist: 4096 buckets resolve 12 bits per pass, and the
+// bucket array stays a cache-resident 16 KB.
+const RadixBuckets = 4096
+
+// RadixShift returns the smallest shift mapping values in [0, max] into
+// RadixBuckets buckets. Callers fusing histogram construction into a
+// pass of their own may use a stale (understated) max — values beyond it
+// clamp into the top bucket, which PercentileFromHist still resolves
+// exactly.
+func RadixShift(max uint64) uint {
+	var shift uint
+	for max>>shift >= RadixBuckets {
+		shift++
+	}
+	return shift
+}
+
+// PercentileRadix returns the same exact nearest-rank quantile as
+// Percentile, given the slice's maximum (which telemetry callers already
+// have from a fused statistics pass): one bucketing pass finds the
+// bucket holding the target rank, a second collects only that bucket's
+// elements — typically n/4096 of them — for a tiny final select. The
+// input is never mutated; work is scratch as in PercentileReuse.
+func PercentileRadix(counts []uint64, q float64, max uint64, work []uint64) (float64, []uint64) {
+	if len(counts) == 0 {
+		return math.NaN(), work
+	}
+	shift := RadixShift(max)
+	var hist [RadixBuckets]uint32
+	for _, c := range counts {
+		b := c >> shift
+		if b >= RadixBuckets {
+			b = RadixBuckets - 1 // counts above the stated max
+		}
+		hist[b]++
+	}
+	return PercentileFromHist(counts, q, &hist, shift, work)
+}
+
+// PercentileFromHist is the resolution half of PercentileRadix, for
+// callers that built the radix histogram inside a fused pass over the
+// same counts: hist[min(c>>shift, RadixBuckets-1)] must count every
+// element. It scans the histogram for the bucket holding the target
+// rank, collects that bucket's elements from counts, and selects the
+// exact value. The input is never mutated; work is scratch as in
+// PercentileReuse.
+func PercentileFromHist(counts []uint64, q float64, hist *[RadixBuckets]uint32, shift uint, work []uint64) (float64, []uint64) {
+	n := len(counts)
+	if n == 0 {
+		return math.NaN(), work
+	}
+	k := quantileRank(q, n)
+	cum, target := 0, 0
+	for ; target < RadixBuckets-1; target++ {
+		next := cum + int(hist[target])
+		if next > k {
+			break
+		}
+		cum = next
+	}
+	work = work[:0]
+	for _, c := range counts {
+		b := c >> shift
+		if b >= RadixBuckets {
+			b = RadixBuckets - 1
+		}
+		if int(b) == target {
+			work = append(work, c)
+		}
+	}
+	return float64(quickselect(work, k-cum)), work
+}
+
+// quantileRank maps a quantile to its nearest-rank index, clamping q
+// into [0, 1].
+func quantileRank(q float64, n int) int {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return int(q * float64(n-1))
+}
+
+// quickselect partitions work in place until its k-th smallest element
+// (0-based) is at index k, and returns it.
+func quickselect(work []uint64, k int) uint64 {
+	lo, hi := 0, len(work)-1
+	for lo < hi {
+		// Median-of-three pivot guards against the sorted/constant
+		// inputs wear distributions often are.
+		mid := lo + (hi-lo)/2
+		if work[mid] < work[lo] {
+			work[mid], work[lo] = work[lo], work[mid]
+		}
+		if work[hi] < work[lo] {
+			work[hi], work[lo] = work[lo], work[hi]
+		}
+		if work[hi] < work[mid] {
+			work[hi], work[mid] = work[mid], work[hi]
+		}
+		pivot := work[mid]
+		i, j := lo, hi
+		for i <= j {
+			for work[i] < pivot {
+				i++
+			}
+			for work[j] > pivot {
+				j--
+			}
+			if i <= j {
+				work[i], work[j] = work[j], work[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return work[k]
+}
+
 // Gini returns the Gini index of the counts (0 = perfectly even, →1 =
 // concentrated on few cells).
 func Gini(counts []uint64) float64 {

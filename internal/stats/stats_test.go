@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -139,5 +140,90 @@ func TestTranspose(t *testing.T) {
 	tr := g.Transpose()
 	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 9 {
 		t.Error("transpose wrong")
+	}
+}
+
+// Percentile is nearest-rank against a full sort, on adversarial shapes
+// for the quickselect (sorted, reverse-sorted, constant, single).
+func TestPercentile(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+	cases := [][]uint64{
+		{7},
+		{5, 5, 5, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3},
+	}
+	for _, counts := range cases {
+		sorted := make([]uint64, len(counts))
+		copy(sorted, counts)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			k := int(q * float64(len(counts)-1))
+			if got, want := Percentile(counts, q), float64(sorted[k]); got != want {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", counts, q, got, want)
+			}
+		}
+	}
+	// Out-of-range quantiles clamp; the input must not be mutated.
+	in := []uint64{9, 1, 5}
+	if got := Percentile(in, -1); got != 1 {
+		t.Errorf("q<0 = %v, want min", got)
+	}
+	if got := Percentile(in, 2); got != 9 {
+		t.Errorf("q>1 = %v, want max", got)
+	}
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileRadix(t *testing.T) {
+	if v, _ := PercentileRadix(nil, 0.5, 0, nil); !math.IsNaN(v) {
+		t.Error("empty radix percentile should be NaN")
+	}
+	if v, _ := PercentileRadix([]uint64{0, 0, 0}, 0.9, 0, nil); v != 0 {
+		t.Errorf("all-zero radix percentile = %v, want 0", v)
+	}
+	// Adversarial shapes across bucket-shift regimes: values below the
+	// bucket count (shift 0), far above it (wide shift), and a max hint
+	// smaller than the true max (top-bucket clamping).
+	big := make([]uint64, 10_000)
+	for i := range big {
+		big[i] = uint64(i*i) % 1_000_003
+	}
+	cases := [][]uint64{
+		{7},
+		{5, 5, 5, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{1 << 40, 3, 1 << 62, 9, 1 << 20, 1 << 20},
+		big,
+	}
+	var work []uint64
+	for _, counts := range cases {
+		sorted := make([]uint64, len(counts))
+		copy(sorted, counts)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		max := sorted[len(sorted)-1]
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			k := int(q * float64(len(counts)-1))
+			want := float64(sorted[k])
+			var got float64
+			got, work = PercentileRadix(counts, q, max, work)
+			if got != want {
+				t.Errorf("PercentileRadix(len %d, %v) = %v, want %v", len(counts), q, got, want)
+			}
+			// An understated max clamps large values into the top bucket
+			// but must not change the result.
+			if got, _ := PercentileRadix(counts, q, max/16+1, nil); got != want {
+				t.Errorf("PercentileRadix(len %d, %v) with low max = %v, want %v", len(counts), q, got, want)
+			}
+		}
+	}
+	in := []uint64{9, 1, 5}
+	if _, _ = PercentileRadix(in, 0.5, 9, nil); in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("PercentileRadix mutated its input")
 	}
 }

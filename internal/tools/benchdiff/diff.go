@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// document mirrors the benchjson output shape (internal/tools/benchjson):
+// normalized benchmark name → measurements. Only the fields the diff
+// needs are decoded.
+type document struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// result is one benchmark's measurements in a benchjson document.
+type result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// readDocument loads a benchjson document from a file, or from stdin
+// when path is "-".
+func readDocument(path string) (*document, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var doc document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// delta is one benchmark's base-vs-new comparison.
+type delta struct {
+	Name      string
+	BaseNs    float64
+	NewNs     float64
+	Percent   float64 // (new-base)/base × 100; positive = slower
+	Regressed bool
+}
+
+// report is the outcome of comparing two documents.
+type report struct {
+	// Deltas covers benchmarks present in both documents with a non-zero
+	// base timing, sorted by percent change, worst first.
+	Deltas []delta
+	// Missing names benchmarks in base that the new document lacks —
+	// a silently dropped benchmark must not read as "no regression".
+	Missing []string
+	// Added names benchmarks only the new document has.
+	Added []string
+}
+
+// regressions returns the deltas that crossed the threshold.
+func (r report) regressions() []delta {
+	var out []delta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// compare diffs new against base. A benchmark regresses when it is
+// slower by more than thresholdPct percent AND its base timing is at
+// least minNs nanoseconds — sub-minNs benchmarks are noise-dominated at
+// -benchtime=1x and only ever reported, never gated on.
+func compare(base, new *document, thresholdPct, minNs float64) report {
+	var rep report
+	for name, b := range base.Benchmarks {
+		n, ok := new.Benchmarks[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		pct := (n.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		rep.Deltas = append(rep.Deltas, delta{
+			Name:      name,
+			BaseNs:    b.NsPerOp,
+			NewNs:     n.NsPerOp,
+			Percent:   pct,
+			Regressed: pct > thresholdPct && b.NsPerOp >= minNs,
+		})
+	}
+	for name := range new.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			rep.Added = append(rep.Added, name)
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Percent > rep.Deltas[j].Percent })
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Added)
+	return rep
+}
+
+// write renders the report as an aligned table.
+func (r report) write(w io.Writer, thresholdPct float64) error {
+	if _, err := fmt.Fprintf(w, "%-60s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta"); err != nil {
+		return err
+	}
+	for _, d := range r.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSION"
+		}
+		if _, err := fmt.Fprintf(w, "%-60s %14.0f %14.0f %+8.1f%%%s\n",
+			d.Name, d.BaseNs, d.NewNs, d.Percent, mark); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.Missing {
+		if _, err := fmt.Fprintf(w, "%-60s missing from new run\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.Added {
+		if _, err := fmt.Fprintf(w, "%-60s new benchmark (no baseline)\n", name); err != nil {
+			return err
+		}
+	}
+	if n := len(r.regressions()); n > 0 {
+		_, err := fmt.Fprintf(w, "%d benchmark(s) regressed more than %.0f%%\n", n, thresholdPct)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "no regressions beyond %.0f%%\n", thresholdPct)
+	return err
+}

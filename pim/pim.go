@@ -73,6 +73,13 @@ type (
 	ChipConfig = system.Config
 	// ChipEstimate is a chip-level replacement-time distribution.
 	ChipEstimate = system.Estimate
+	// WearSeries is a per-epoch wear telemetry trajectory (columns
+	// epoch, iterations, max/mean/p99 writes, CoV, projected dead cells
+	// and projected iterations to failure) recorded when
+	// RunConfig.SampleEvery is set. The series also registers with the
+	// observability layer, so CLIs export it as series_<name>.{csv,json}
+	// and serve it live on -serve's /series endpoint.
+	WearSeries = obs.Series
 )
 
 // Device energy models (orders of magnitude from the PIM literature).
@@ -198,6 +205,12 @@ type RunConfig struct {
 	// runtime.GOMAXPROCS(0). Results are bit-identical for every worker
 	// count.
 	Workers int
+	// SampleEvery, when > 0, records wear telemetry every SampleEvery
+	// recompile epochs (plus always the final epoch) into
+	// Result.Wear — live per-epoch max/mean/p99/CoV and lifetime
+	// projections. Sampling switches the +Hw path to the epoch-ordered
+	// sampled engine; the final distribution stays bit-identical.
+	SampleEvery int
 }
 
 // Result is the outcome of one endurance run.
@@ -216,6 +229,9 @@ type Result struct {
 	Lifetime Lifetime
 	// Imbalance is max/mean over cells that the benchmark can touch.
 	Imbalance float64
+	// Wear is the per-epoch telemetry trajectory, recorded when
+	// RunConfig.SampleEvery > 0 (nil otherwise).
+	Wear *WearSeries
 }
 
 // Run simulates the benchmark under one strategy and estimates lifetime on
@@ -235,6 +251,12 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 		Seed:           rc.Seed,
 		Workers:        rc.Workers,
 	}
+	var sampler *core.WearSampler
+	if rc.SampleEvery > 0 {
+		sampler = core.NewWearSampler("wear."+b.Name+"."+s.Name(), rc.SampleEvery, tech.Endurance)
+		sim.Sampler = sampler
+		obs.SetWearPNG(sampler.WritePNG)
+	}
 	dist, err := core.Simulate(b.Trace, sim, s)
 	if err != nil {
 		return nil, err
@@ -245,7 +267,7 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Benchmark:             b.Name,
 		Strategy:              s,
 		Dist:                  dist,
@@ -253,7 +275,11 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 		Utilization:           st.Utilization,
 		Lifetime:              lt,
 		Imbalance:             stats.MaxOverMean(dist.Counts),
-	}, nil
+	}
+	if sampler != nil {
+		res.Wear = sampler.Series()
+	}
+	return res, nil
 }
 
 // Sweep runs the benchmark under every given strategy and returns

@@ -1,0 +1,55 @@
+package pim_test
+
+import (
+	"testing"
+
+	"pimendure/pim"
+)
+
+// RunConfig.SampleEvery threads a wear sampler through the full 18-config
+// sweep: every result carries a trajectory whose last sample reproduces
+// the final distribution's hottest-cell count, and the distributions stay
+// bit-identical to an unsampled sweep.
+func TestSweepWearSeries(t *testing.T) {
+	opt := pim.Options{Lanes: 8, Rows: 96, PresetOutputs: true, NANDBasis: true}
+	b, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := pim.RunConfig{Iterations: 23, RecompileEvery: 7, Seed: 42, Workers: 4}
+	plain, err := pim.Sweep(b, opt, rc, nil, pim.MRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.SampleEvery = 2
+	sampled, err := pim.Sweep(b, opt, rc, nil, pim.MRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampled) != 18 {
+		t.Fatalf("sweep returned %d results, want 18", len(sampled))
+	}
+	for i, r := range sampled {
+		if !r.Dist.Equal(plain[i].Dist) {
+			t.Errorf("%s: sampled sweep distribution diverges from unsampled", r.Strategy.Name())
+		}
+		if r.Wear == nil || r.Wear.Len() == 0 {
+			t.Fatalf("%s: no wear series recorded", r.Strategy.Name())
+		}
+		last := r.Wear.Last()
+		var maxCol int
+		for j, c := range r.Wear.Columns() {
+			if c == "max_writes" {
+				maxCol = j
+			}
+		}
+		if got, want := last[maxCol], float64(r.Dist.Max()); got != want {
+			t.Errorf("%s: last wear sample max_writes = %v, final dist max = %v",
+				r.Strategy.Name(), got, want)
+		}
+	}
+	// Without SampleEvery no series is attached.
+	if plain[0].Wear != nil {
+		t.Error("unsampled run attached a wear series")
+	}
+}
