@@ -9,7 +9,7 @@ GO ?= go
 # API + instrumented engine layers). Enforced by `make doclint`.
 DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool
 
-.PHONY: all build vet test race race-obs bench bench-json bench-current benchdiff report ci doclint
+.PHONY: all build vet test race race-obs race-core bench bench-json bench-current benchdiff report ci doclint
 
 all: build
 
@@ -30,6 +30,12 @@ race:
 # detector explicitly so a failure names the layer, not the world.
 race-obs:
 	$(GO) test -race ./internal/obs/...
+
+# The wear engines shard epoch groups over the worker pool and share one
+# immutable WearPlan across concurrent strategies; race their suite
+# explicitly so an engine-level data race is named as such.
+race-core:
+	$(GO) test -race ./internal/core/...
 
 # Doc-lint: fail on undocumented exported symbols (revive `exported`
 # rule stand-in, zero dependencies).
@@ -76,6 +82,7 @@ report:
 
 # `bench` doubles as the CI benchmark smoke: -benchtime=1x executes every
 # benchmark body once, catching bit-rot in the measurement harness.
-# `benchdiff` then diffs that fresh snapshot against the committed
-# baseline — advisory locally, strict when BENCHDIFF_FLAGS=-strict.
-ci: vet doclint race-obs race bench benchdiff
+# `benchdiff` then diffs that fresh snapshot — BenchmarkHwEngine and the
+# BenchmarkSweep sweep benchmarks included — against the committed
+# baseline: advisory locally, strict when BENCHDIFF_FLAGS=-strict.
+ci: vet doclint race-obs race-core race bench benchdiff

@@ -575,6 +575,78 @@ func BenchmarkHwEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep measures pim.Sweep end to end on the shared WearPlan.
+// "full18" is the paper-shaped sweep (all 18 configurations,
+// RecompileEvery=100) on the reduced bench array; "software-paper" runs
+// the 9 software-only configurations at the paper's full §4 scale
+// (1024×1024, 100 000 iterations, RecompileEvery=100) on the grouped
+// engine alone, and "software-paper-speedup" times that same sweep
+// against the retained pre-plan serial engine (core.SimulateReference's
+// software path — the engine every software config ran on before the
+// WearPlan existed) and reports the ratio as `speedup_x`.
+func BenchmarkSweep(b *testing.B) {
+	b.Run("full18", func(b *testing.B) {
+		bench := mustMult(b, benchOptions(), 32)
+		rc := pim.RunConfig{Iterations: 2000, RecompileEvery: 100, Seed: 1}
+		for i := 0; i < b.N; i++ {
+			if _, err := pim.Sweep(bench, benchOptions(), rc, nil, pim.MRAM()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Paper scale: DefaultOptions' 1024×1024 array, §4's headline run
+	// length. The grouped engine pays per unique permutation pair (1000
+	// Ra epochs at most) instead of per epoch × hot row × lane.
+	paperSim := core.SimConfig{
+		Rows: 1024, PresetOutputs: true,
+		Iterations: 100000, RecompileEvery: 100, Seed: 1,
+	}
+	paperMult := func(b *testing.B) *pim.Benchmark {
+		b.Helper()
+		m, err := pim.NewParallelMult(pim.DefaultOptions(), 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	swConfigs := core.SoftwareConfigs()
+	b.Run("software-paper", func(b *testing.B) {
+		bench := paperMult(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan := core.NewWearPlan(bench.Trace, paperSim.Rows, paperSim.PresetOutputs)
+			for _, s := range swConfigs {
+				if _, err := plan.Simulate(paperSim, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("software-paper-speedup", func(b *testing.B) {
+		bench := paperMult(b)
+		b.ResetTimer()
+		var ref, eng time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			for _, s := range swConfigs {
+				if _, err := core.SimulateReference(bench.Trace, paperSim, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ref += time.Since(t0)
+			t0 = time.Now()
+			plan := core.NewWearPlan(bench.Trace, paperSim.Rows, paperSim.PresetOutputs)
+			for _, s := range swConfigs {
+				if _, err := plan.Simulate(paperSim, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng += time.Since(t0)
+		}
+		b.ReportMetric(float64(ref)/float64(eng), "speedup_x")
+	})
+}
+
 // BenchmarkSweepWorkers measures the full 18-configuration sweep at
 // explicit worker budgets (the pim.Sweep bounded pool).
 func BenchmarkSweepWorkers(b *testing.B) {

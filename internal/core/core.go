@@ -7,16 +7,19 @@
 //
 // Two engines are provided:
 //
-//   - Simulate — the fast path. Writes of one iteration factorize as a sum
-//     of rank-1 terms Σ_phases rowHist ⊗ laneMask (ops sharing a lane mask
-//     form a phase); software permutations only relabel indices, so each
-//     recompile epoch contributes one O(rows×lanes) accumulation pass.
-//     Hardware renaming evolves per gate and is replayed exactly, O(1) per
-//     op — but epochs are independent (the renamer resets at recompile
+//   - Simulate — the fast path, built on a shared per-benchmark WearPlan
+//     (plan.go). Writes of one iteration factorize as a sum of rank-1
+//     terms Σ_phases rowHist ⊗ laneMask (ops sharing a lane mask form a
+//     phase); software permutations only relabel indices, so epochs group
+//     by their (within, between) permutation pair and each unique group
+//     contributes one accumulation weighted by its summed iterations,
+//     sharded over a bounded worker pool; see sw_engine.go. Hardware
+//     renaming evolves per gate and is replayed exactly, O(1) per op —
+//     but epochs are independent (the renamer resets at recompile
 //     boundaries), so the +Hw engine memoizes per-epoch histograms by
-//     within-lane permutation and shards the unique replays over a
-//     bounded worker pool (SimConfig.Workers); see hw_engine.go. Results
-//     are bit-identical for every worker count.
+//     within-lane permutation and shards the unique replays over the same
+//     pool (SimConfig.Workers); see hw_engine.go. Results are
+//     bit-identical for every worker count.
 //   - BruteForce — the functional array simulator executing every single
 //     iteration cell by cell. It is mathematically identical and is used
 //     to cross-validate Simulate in the test suite.
@@ -245,104 +248,12 @@ func (d *WriteDist) Equal(o *WriteDist) bool {
 
 // Simulate accumulates the write distribution of running tr for
 // cfg.Iterations under one load-balancing configuration, using the
-// factorized fast engine.
+// factorized fast engine. It builds a fresh WearPlan per call; callers
+// simulating several strategies over the same trace (a sweep) should
+// build one plan with NewWearPlan and call its Simulate method so the
+// per-benchmark precomputation is paid once.
 func Simulate(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (*WriteDist, error) {
-	if err := cfg.Validate(tr, strat.Hw); err != nil {
-		return nil, err
-	}
-	sp := obs.StartSpan("core.simulate")
-	defer sp.End()
-	dist := NewWriteDist(cfg.Rows, tr.Lanes)
-	dist.Iterations = cfg.Iterations
-	dist.StepsPerIteration = tr.Steps(cfg.PresetOutputs)
-
-	arch := cfg.Rows
-	if strat.Hw {
-		arch--
-	}
-	sched := mapping.Schedule{
-		Rows: arch, Lanes: tr.Lanes,
-		Within: strat.Within, Between: strat.Between,
-		Seed: cfg.Seed, ShiftStep: cfg.ShiftStep,
-	}
-	if cfg.Sampler != nil {
-		cfg.Sampler.bind(cfg.Iterations)
-	}
-	switch {
-	case strat.Hw && cfg.Sampler != nil:
-		simulateHwSampled(tr, cfg, sched, dist)
-	case strat.Hw:
-		simulateHw(tr, cfg, sched, dist)
-	default:
-		simulateSoftware(tr, cfg, sched, dist)
-	}
-	if obs.Enabled() {
-		obsWrites.Add(int64(dist.Total()))
-	}
-	return dist, nil
-}
-
-// simulateSoftware exploits that without Hw the per-iteration write matrix
-// M0[r][l] is constant; each epoch adds epochLen·M0 permuted by that
-// epoch's maps.
-func simulateSoftware(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
-	sp := obs.StartSpan("core.simulate/sw-accumulate")
-	defer sp.End()
-	lanes := tr.Lanes
-	// One-iteration logical write matrix, factorized by mask then
-	// materialized once over the trace's (small) logical row footprint.
-	m0 := make([]uint32, tr.LaneBits*lanes)
-	for _, op := range tr.Ops {
-		w := op.WritesPerLane(cfg.PresetOutputs)
-		if w == 0 {
-			continue
-		}
-		row := int(op.Out)
-		tr.Mask(op.Mask).ForEach(func(l int) {
-			m0[row*lanes+l] += uint32(w)
-		})
-	}
-	// Rows with any writes, to skip cold rows in the per-epoch pass.
-	var hotRows []int
-	for r := 0; r < tr.LaneBits; r++ {
-		hot := false
-		for l := 0; l < lanes; l++ {
-			if m0[r*lanes+l] != 0 {
-				hot = true
-				break
-			}
-		}
-		if hot {
-			hotRows = append(hotRows, r)
-		}
-	}
-
-	every := cfg.recompileEvery()
-	totalEpochs := (cfg.Iterations + every - 1) / every
-	epochs := 0
-	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
-		epochs++
-		n := every
-		if start+n > cfg.Iterations {
-			n = cfg.Iterations - start
-		}
-		within := sched.EpochWithin(epoch)
-		between := sched.EpochBetween(epoch)
-		for _, r := range hotRows {
-			pr := within.Apply(r)
-			src := m0[r*lanes:]
-			dst := dist.Counts[pr*lanes:]
-			for l := 0; l < lanes; l++ {
-				if c := src[l]; c != 0 {
-					dst[between.Apply(l)] += uint64(c) * uint64(n)
-				}
-			}
-		}
-		if cfg.Sampler != nil && cfg.Sampler.due(epoch, totalEpochs-1) {
-			cfg.Sampler.Sample(epoch, start+n, dist)
-		}
-	}
-	obsEpochs.Add(int64(epochs))
+	return NewWearPlan(tr, cfg.Rows, cfg.PresetOutputs).Simulate(cfg, strat)
 }
 
 // BruteForce accumulates the same distribution by executing every

@@ -159,26 +159,21 @@ func groupByBetween(sched mapping.Schedule, epochs []int) []betweenGroup {
 // one recorded iteration plus a per-op orbit walk replaces the
 // op-by-op replay of all n iterations (see the comment on
 // accumulateClosedCycle).
-func simulateHw(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+func simulateHw(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
 	sp := obs.StartSpan("core.simulate/hw-replay")
 	defer sp.End()
-	lanes := tr.Lanes
+	lanes := p.trace.Lanes
 	rows := cfg.Rows
-	ops, maskLanes := flattenOps(tr, cfg.PresetOutputs)
-	nMasks := len(tr.Masks)
+	// Flattened ops, mask lane sets and the analytic cycle come from the
+	// shared plan: the iteration period is a property of the full-mask
+	// write sequence alone (software within-lane permutations only
+	// conjugate the state permutation), so one trace-level analysis serves
+	// every job of every strategy.
+	ops, maskLanes := p.ops, p.maskLanes
+	nMasks := len(maskLanes)
+	period := p.cycle.Period
 	plan := sp.Child("plan")
 	jobs := planHwEpochs(cfg, sched)
-	// The iteration period is a property of the full-mask write sequence
-	// alone: software within-lane permutations only conjugate the state
-	// permutation, so one analysis on the logical rows serves every job.
-	var fullRows []int32
-	for _, op := range ops {
-		if op.full {
-			fullRows = append(fullRows, op.row)
-		}
-	}
-	cycle := mapping.AnalyzeRenamerCycle(rows, fullRows)
-	period := cycle.Period
 	plan.End()
 	// Memoization accounting: every epoch beyond a job's representative
 	// is a replay the grouping saved; the closed-cycle form additionally

@@ -24,7 +24,6 @@ import (
 	"pimendure/internal/mapping"
 	"pimendure/internal/obs"
 	"pimendure/internal/pool"
-	"pimendure/internal/program"
 )
 
 // hwPrefetchBatches sizes the job prefetch window in units of the worker
@@ -35,24 +34,17 @@ const hwPrefetchBatches = 4
 // simulateHwSampled is simulateHw with epoch-ordered accumulation,
 // feeding cfg.Sampler the prefix distribution after each sampled epoch.
 // Only Simulate calls it, and only when a sampler is attached.
-func simulateHwSampled(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+func simulateHwSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
 	sp := obs.StartSpan("core.simulate/hw-replay")
 	defer sp.End()
 	sampler := cfg.Sampler
-	lanes := tr.Lanes
+	lanes := p.trace.Lanes
 	rows := cfg.Rows
-	ops, maskLanes := flattenOps(tr, cfg.PresetOutputs)
-	nMasks := len(tr.Masks)
+	ops, maskLanes := p.ops, p.maskLanes
+	nMasks := len(maskLanes)
+	period := p.cycle.Period
 	plan := sp.Child("plan")
 	jobs := planHwEpochs(cfg, sched)
-	var fullRows []int32
-	for _, op := range ops {
-		if op.full {
-			fullRows = append(fullRows, op.row)
-		}
-	}
-	cycle := mapping.AnalyzeRenamerCycle(rows, fullRows)
-	period := cycle.Period
 	plan.End()
 
 	every := cfg.recompileEvery()

@@ -34,9 +34,68 @@ func SimulateReference(tr *program.Trace, cfg SimConfig, strat StrategyConfig) (
 	if strat.Hw {
 		simulateHwReference(tr, cfg, sched, dist)
 	} else {
-		simulateSoftware(tr, cfg, sched, dist)
+		simulateSoftwareReference(tr, cfg, sched, dist)
 	}
 	return dist, nil
+}
+
+// simulateSoftwareReference is the pre-plan software engine: a dense
+// per-epoch accumulation pass with no epoch grouping, no full-mask
+// factorization and no worker pool. Each epoch adds epochLen·M0 permuted
+// by that epoch's maps, rebuilding M0 from the trace on every call.
+func simulateSoftwareReference(tr *program.Trace, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	lanes := tr.Lanes
+	// One-iteration logical write matrix, factorized by mask then
+	// materialized once over the trace's (small) logical row footprint.
+	m0 := make([]uint32, tr.LaneBits*lanes)
+	for _, op := range tr.Ops {
+		w := op.WritesPerLane(cfg.PresetOutputs)
+		if w == 0 {
+			continue
+		}
+		row := int(op.Out)
+		tr.Mask(op.Mask).ForEach(func(l int) {
+			m0[row*lanes+l] += uint32(w)
+		})
+	}
+	// Rows with any writes, to skip cold rows in the per-epoch pass.
+	var hotRows []int
+	for r := 0; r < tr.LaneBits; r++ {
+		hot := false
+		for l := 0; l < lanes; l++ {
+			if m0[r*lanes+l] != 0 {
+				hot = true
+				break
+			}
+		}
+		if hot {
+			hotRows = append(hotRows, r)
+		}
+	}
+
+	every := cfg.recompileEvery()
+	totalEpochs := (cfg.Iterations + every - 1) / every
+	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
+		n := every
+		if start+n > cfg.Iterations {
+			n = cfg.Iterations - start
+		}
+		within := sched.EpochWithin(epoch)
+		between := sched.EpochBetween(epoch)
+		for _, r := range hotRows {
+			pr := within.Apply(r)
+			src := m0[r*lanes:]
+			dst := dist.Counts[pr*lanes:]
+			for l := 0; l < lanes; l++ {
+				if c := src[l]; c != 0 {
+					dst[between.Apply(l)] += uint64(c) * uint64(n)
+				}
+			}
+		}
+		if cfg.Sampler != nil && cfg.Sampler.due(epoch, totalEpochs-1) {
+			cfg.Sampler.Sample(epoch, start+n, dist)
+		}
+	}
 }
 
 // simulateHwReference replays the hardware renamer exactly, epoch by

@@ -1,0 +1,242 @@
+// The epoch-memoized, pool-parallel software wear engine.
+//
+// Without hardware renaming, an epoch of n iterations contributes
+// n · P_w M0 P_b to the distribution: the one-iteration write matrix M0
+// permuted by the epoch's within-lane (rows) and between-lane (columns)
+// maps. The contribution is linear in n and depends on the epoch only
+// through its permutation pair, which the engine exploits three ways —
+// the same memoize-then-shard discipline as the +Hw engine:
+//
+//   - Epoch grouping: epochs are grouped by (within-permutation,
+//     between-permutation), fingerprint-bucketed and resolved to exact
+//     equality on collision, with each group accumulating its members'
+//     summed iteration count. St×St collapses to a single accumulation
+//     for the whole run; Bs families collapse to their rotation period
+//     (rows/gcd(step·8, rows) distinct shifts per axis); only Ra epochs
+//     stay unique. core.sw.groups counts surviving groups and
+//     core.sw.memo_hits the epochs folded into an existing group.
+//
+//   - Rank-1 full-mask accumulation: a full lane mask is invariant under
+//     every between-lane permutation, so the full-mask part of M0 (one
+//     weight per row; see WearPlan.FullRowWrites) contributes
+//     weight·iters to every lane of one physical row. The engine
+//     accumulates those as a per-physical-row weight — O(full rows) per
+//     group, no lane dimension at all — and expands the weights to whole
+//     rows once at the end. Only the CSR-packed partial-mask remainder
+//     pays a per-lane walk per group.
+//
+//   - Bounded parallelism: groups are sharded over a pool of
+//     SimConfig.Workers goroutines, each accumulating into a private
+//     counts buffer and a private row-weight buffer; the buffers merge
+//     by uint64 addition, which commutes, so the result is bit-identical
+//     to the serial reference for every worker count.
+//
+// When a sampler is attached the engine switches to an epoch-ordered
+// variant (simulateSoftwareSampled) that accumulates one inter-sample
+// segment at a time — grouping epochs within each segment — so every
+// sample observes a true prefix of the final distribution, exactly like
+// the sampled +Hw engine.
+package core
+
+import (
+	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
+	"pimendure/internal/pool"
+)
+
+// Software-engine memoization accounting (no-ops until obs.Enable).
+var (
+	// obsSwGroups counts unique (within, between) permutation-pair groups
+	// the software engine actually accumulated.
+	obsSwGroups = obs.GetCounter("core.sw.groups")
+	// obsSwMemoHits counts software epochs folded into an already-seen
+	// permutation-pair group; groups + memo_hits equals the software
+	// epochs simulated.
+	obsSwMemoHits = obs.GetCounter("core.sw.memo_hits")
+)
+
+// swJob is one unique (within-permutation, between-permutation) group of
+// software epochs and the iteration mass it accumulates.
+type swJob struct {
+	epoch0 int    // representative epoch (regenerates both perms)
+	iters  uint64 // summed iterations of all member epochs
+	epochs int    // member epoch count (memoization accounting)
+}
+
+// planSwEpochs walks an epoch range [first, last] once and groups epochs
+// whose accumulations would be identical: equal within AND between
+// permutations (fingerprint buckets resolved by exact comparison).
+// Permutations are regenerated from the schedule on demand, so jobs hold
+// only integers. iterLen returns an epoch's iteration count.
+func planSwEpochs(sched mapping.Schedule, first, last int, iterLen func(epoch int) int) []swJob {
+	type key struct{ wfp, bfp uint64 }
+	var jobs []swJob
+	index := map[key][]int{} // fingerprint bucket -> job ids (collision list)
+	for epoch := first; epoch <= last; epoch++ {
+		within := sched.EpochWithin(epoch)
+		between := sched.EpochBetween(epoch)
+		k := key{within.Fingerprint(), between.Fingerprint()}
+		jobID := -1
+		for _, cand := range index[k] {
+			e0 := jobs[cand].epoch0
+			if sched.EpochWithin(e0).Equal(within) && sched.EpochBetween(e0).Equal(between) {
+				jobID = cand
+				break
+			}
+		}
+		if jobID < 0 {
+			jobID = len(jobs)
+			jobs = append(jobs, swJob{epoch0: epoch})
+			index[k] = append(index[k], jobID)
+		}
+		jobs[jobID].iters += uint64(iterLen(epoch))
+		jobs[jobID].epochs++
+	}
+	return jobs
+}
+
+// epochLen returns the per-epoch iteration count function for a config:
+// every epoch runs recompileEvery iterations except a short final one.
+func (c SimConfig) epochLen() func(epoch int) int {
+	every := c.recompileEvery()
+	return func(epoch int) int {
+		n := every
+		if start := epoch * every; start+n > c.Iterations {
+			n = c.Iterations - start
+		}
+		return n
+	}
+}
+
+// accumulateSwJob adds one group's contribution: the full-mask row
+// weights into rowW (between-invariant, expanded to whole rows later by
+// expandRowWeights) and the CSR partial-mask entries straight into
+// counts through the group's between permutation. touched, when non-nil,
+// records physical rows whose rowW entry became nonzero (the sampled
+// engine resets only those between segments).
+func accumulateSwJob(p *WearPlan, sched mapping.Schedule, job swJob,
+	rowW []uint64, touched *[]int32, counts []uint64) {
+	within := sched.EpochWithin(job.epoch0)
+	between := sched.EpochBetween(job.epoch0)
+	for i, r := range p.fullRowIdx {
+		pr := within.Apply(int(r))
+		if touched != nil && rowW[pr] == 0 {
+			*touched = append(*touched, int32(pr))
+		}
+		rowW[pr] += uint64(p.fullRowW[i]) * job.iters
+	}
+	lanes := p.trace.Lanes
+	for i, r := range p.csrRows {
+		dst := counts[within.Apply(int(r))*lanes:]
+		for e := p.csrPtr[i]; e < p.csrPtr[i+1]; e++ {
+			dst[between.Apply(int(p.csrLane[e]))] += uint64(p.csrCnt[e]) * job.iters
+		}
+	}
+}
+
+// expandRowWeights adds each nonzero per-physical-row weight to every
+// lane of its row — the deferred rank-1 completion of the full-mask
+// accumulation.
+func expandRowWeights(rowW []uint64, lanes int, counts []uint64) {
+	for pr, c := range rowW {
+		if c == 0 {
+			continue
+		}
+		row := counts[pr*lanes : pr*lanes+lanes]
+		for l := range row {
+			row[l] += c
+		}
+	}
+}
+
+// simulateSoftware is the fast software path: group epochs by
+// permutation pair, shard the surviving groups over the bounded worker
+// pool, merge per-worker buffers by addition. Bit-identical to
+// simulateSoftwareReference for every worker count.
+func simulateSoftware(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	sp := obs.StartSpan("core.simulate/sw-accumulate")
+	defer sp.End()
+	every := cfg.recompileEvery()
+	totalEpochs := (cfg.Iterations + every - 1) / every
+	jobs := planSwEpochs(sched, 0, totalEpochs-1, cfg.epochLen())
+	obsEpochs.Add(int64(totalEpochs))
+	obsSwGroups.Add(int64(len(jobs)))
+	obsSwMemoHits.Add(int64(totalEpochs - len(jobs)))
+
+	lanes := p.trace.Lanes
+	workers := pool.Size(cfg.workers(), len(jobs))
+	parts := make([][]uint64, workers)
+	rowWs := make([][]uint64, workers)
+	parts[0] = dist.Counts
+	for w := 0; w < workers; w++ {
+		if w > 0 {
+			parts[w] = make([]uint64, len(dist.Counts))
+		}
+		rowWs[w] = make([]uint64, cfg.Rows)
+	}
+	pool.ForEachWorker(workers, len(jobs), func(slot, j int) {
+		accumulateSwJob(p, sched, jobs[j], rowWs[slot], nil, parts[slot])
+	})
+	for w := 1; w < workers; w++ {
+		for i, c := range parts[w] {
+			if c != 0 {
+				dist.Counts[i] += c
+			}
+		}
+		for pr, c := range rowWs[w] {
+			rowWs[0][pr] += c
+		}
+	}
+	expandRowWeights(rowWs[0], lanes, dist.Counts)
+}
+
+// simulateSoftwareSampled is simulateSoftware with epoch-ordered
+// accumulation: the walk advances one inter-sample segment at a time,
+// grouping the segment's epochs by permutation pair (uint64 adds
+// commute, so intra-segment order is free), and feeds cfg.Sampler the
+// prefix distribution at each segment boundary. The final distribution
+// is bit-identical to the unsampled engine.
+func simulateSoftwareSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
+	sp := obs.StartSpan("core.simulate/sw-accumulate")
+	defer sp.End()
+	sampler := cfg.Sampler
+	every := cfg.recompileEvery()
+	totalEpochs := (cfg.Iterations + every - 1) / every
+	iterLen := cfg.epochLen()
+	lanes := p.trace.Lanes
+	rowW := make([]uint64, cfg.Rows)
+	var touched []int32
+	groups := 0
+	for start := 0; start < totalEpochs; {
+		end := start
+		for !sampler.due(end, totalEpochs-1) {
+			end++
+		}
+		jobs := planSwEpochs(sched, start, end, iterLen)
+		groups += len(jobs)
+		for _, job := range jobs {
+			accumulateSwJob(p, sched, job, rowW, &touched, dist.Counts)
+		}
+		// Segment boundary: complete the rank-1 full-mask part so the
+		// sampler sees the true prefix distribution, then reset only the
+		// touched weights.
+		for _, pr := range touched {
+			c := rowW[pr]
+			rowW[pr] = 0
+			row := dist.Counts[int(pr)*lanes : (int(pr)+1)*lanes]
+			for l := range row {
+				row[l] += c
+			}
+		}
+		touched = touched[:0]
+		itersSoFar := (end + 1) * every
+		if itersSoFar > cfg.Iterations {
+			itersSoFar = cfg.Iterations
+		}
+		sampler.Sample(end, itersSoFar, dist)
+		start = end + 1
+	}
+	obsEpochs.Add(int64(totalEpochs))
+	obsSwGroups.Add(int64(groups))
+	obsSwMemoHits.Add(int64(totalEpochs - groups))
+}

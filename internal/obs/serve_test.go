@@ -106,12 +106,80 @@ func TestTelemetryServer(t *testing.T) {
 	if code != http.StatusOK || ctype != "image/png" || !bytes.HasPrefix(body, []byte("\x89PNG")) {
 		t.Errorf("/wear.png after SetWearPNG = %d %q %q", code, ctype, body)
 	}
+	// Named per-series sources coexist with the default and are selected
+	// with ?name=.
+	obs.RegisterWearPNG("serve.named", func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "\x89PNG named")
+		return err
+	})
+	defer obs.RegisterWearPNG("serve.named", nil)
+	code, _, body = get(t, addr, "/wear.png?name=serve.named")
+	if code != http.StatusOK || !bytes.HasSuffix(body, []byte("named")) {
+		t.Errorf("/wear.png?name=serve.named = %d %q", code, body)
+	}
+	code, _, _ = get(t, addr, "/wear.png?name=no.such.source")
+	if code != http.StatusNotFound {
+		t.Errorf("/wear.png with unknown name = %d, want 404", code)
+	}
 
 	if err := run.Finish(t.TempDir(), nil, 0, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Error("telemetry server still serving after Finish")
+	}
+}
+
+// The wear-PNG registry contract without a server: per-name
+// registration and removal, sorted source listing, and deterministic
+// default resolution — an explicit SetWearPNG default wins, otherwise
+// the lexicographically smallest registered name serves the unnamed
+// request regardless of registration order.
+func TestWearPNGRegistry(t *testing.T) {
+	render := func(tag string) func(io.Writer) error {
+		return func(w io.Writer) error {
+			_, err := io.WriteString(w, tag)
+			return err
+		}
+	}
+	resolve := func(name string) string {
+		var buf bytes.Buffer
+		if err := obs.WriteWearPNG(&buf, name); err != nil {
+			return "ERR"
+		}
+		return buf.String()
+	}
+	defer func() {
+		obs.SetWearPNG(nil)
+		obs.RegisterWearPNG("z.series", nil)
+		obs.RegisterWearPNG("a.series", nil)
+	}()
+
+	if got := resolve(""); got != "ERR" {
+		t.Fatalf("empty registry resolved to %q", got)
+	}
+	obs.RegisterWearPNG("z.series", render("z"))
+	obs.RegisterWearPNG("a.series", render("a"))
+	if got := obs.WearPNGSources(); len(got) != 2 || got[0] != "a.series" || got[1] != "z.series" {
+		t.Errorf("WearPNGSources = %v, want [a.series z.series]", got)
+	}
+	if got := resolve("z.series"); got != "z" {
+		t.Errorf("named lookup = %q, want z", got)
+	}
+	if got := resolve(""); got != "a" {
+		t.Errorf("unnamed lookup = %q, want a (smallest registered name)", got)
+	}
+	obs.SetWearPNG(render("default"))
+	if got := resolve(""); got != "default" {
+		t.Errorf("unnamed lookup with default installed = %q, want default", got)
+	}
+	obs.SetWearPNG(nil)
+	obs.RegisterWearPNG("a.series", nil)
+	if got := resolve(""); got != "z" {
+		t.Errorf("unnamed lookup after removing a.series = %q, want z", got)
+	}
+	if got := resolve("a.series"); got != "ERR" {
+		t.Errorf("removed name still resolves: %q", got)
 	}
 }
 

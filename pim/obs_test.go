@@ -73,9 +73,27 @@ func TestManifestMatchesSweepResults(t *testing.T) {
 		t.Errorf("manifest core.hw.cycle_len = %d, want ≥ 9 (one period ≥ 1 per +Hw strategy)", got)
 	}
 
+	// Software-engine memoization accounting: the 9 software strategies at
+	// 4 epochs each group into at most one accumulation per epoch, and
+	// groups + memo hits must balance exactly. St×St collapses to one
+	// group, and so does St×Bs here (8 lanes at the default byte step make
+	// every between rotation the identity), so at least 6 epochs fold.
+	swGroups, swHits := m.Counters["core.sw.groups"], m.Counters["core.sw.memo_hits"]
+	if swGroups+swHits != 9*4 {
+		t.Errorf("sw groups (%d) + memo hits (%d) != software epochs %d", swGroups, swHits, 9*4)
+	}
+	if swHits < 6 {
+		t.Errorf("sw memo hits = %d, want ≥ 6 (St×St and St×Bs fully collapse)", swHits)
+	}
+
 	stages := map[string]obs.Stage{}
 	for _, st := range m.Stages {
 		stages[st.Name] = st
+	}
+	// One shared WearPlan serves the whole sweep: the plan-build stage
+	// must have run exactly once for 18 core.simulate stages.
+	if st := stages["core.simulate/plan"]; st.Count != 1 {
+		t.Errorf("core.simulate/plan stage count = %d, want 1 (plan shared across the sweep)", st.Count)
 	}
 	if st := stages["core.simulate"]; st.Count != 18 {
 		t.Errorf("core.simulate stage count = %d, want 18", st.Count)

@@ -235,8 +235,15 @@ type Result struct {
 }
 
 // Run simulates the benchmark under one strategy and estimates lifetime on
-// the given technology.
+// the given technology. It builds the per-benchmark simulation plan on
+// demand; Sweep builds one plan and shares it across all strategies.
 func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (*Result, error) {
+	return runPlanned(core.NewWearPlan(b.Trace, opt.Rows, opt.PresetOutputs), b, rc, s, tech)
+}
+
+// runPlanned is Run against a prebuilt WearPlan — the shared inner body
+// of Run and Sweep.
+func runPlanned(plan *core.WearPlan, b *Benchmark, rc RunConfig, s Strategy, tech Technology) (*Result, error) {
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
@@ -244,8 +251,8 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 	defer sp.End()
 	obsRuns.Add(1)
 	sim := core.SimConfig{
-		Rows:           opt.Rows,
-		PresetOutputs:  opt.PresetOutputs,
+		Rows:           plan.Rows(),
+		PresetOutputs:  plan.PresetOutputs(),
 		Iterations:     rc.Iterations,
 		RecompileEvery: rc.RecompileEvery,
 		Seed:           rc.Seed,
@@ -253,15 +260,19 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 	}
 	var sampler *core.WearSampler
 	if rc.SampleEvery > 0 {
-		sampler = core.NewWearSampler("wear."+b.Name+"."+s.Name(), rc.SampleEvery, tech.Endurance)
+		name := "wear." + b.Name + "." + s.Name()
+		sampler = core.NewWearSampler(name, rc.SampleEvery, tech.Endurance)
 		sim.Sampler = sampler
-		obs.SetWearPNG(sampler.WritePNG)
+		// Per-series registration: concurrent sampled runs in a sweep each
+		// get their own /wear.png?name= source instead of racing over one
+		// global hook.
+		obs.RegisterWearPNG(name, sampler.WritePNG)
 	}
-	dist, err := core.Simulate(b.Trace, sim, s)
+	dist, err := plan.Simulate(sim, s)
 	if err != nil {
 		return nil, err
 	}
-	st := b.Trace.ComputeStats(opt.PresetOutputs)
+	st := plan.Stats()
 	model := lifetime.Model{Endurance: tech.Endurance, StepSeconds: tech.SwitchSeconds}
 	lt, err := model.Estimate(dist.MaxPerIteration(), st.Steps)
 	if err != nil {
@@ -289,8 +300,13 @@ func Run(b *Benchmark, opt Options, rc RunConfig, s Strategy, tech Technology) (
 // (≤ 0 selects GOMAXPROCS) instead of one goroutine per strategy: the
 // paper-scale sweep (18 strategies × 1024×1024 arrays) would otherwise
 // oversubscribe the CPU and hold 18 histogram sets live at once. The
-// worker budget is shared with the inner +Hw engine, so the total
-// goroutine count stays near rc.Workers regardless of nesting.
+// worker budget is shared with the inner engines, so the total goroutine
+// count stays near rc.Workers regardless of nesting.
+//
+// The per-benchmark WearPlan (flattened ops, factorized write matrix,
+// renamer-cycle analysis, trace statistics) is built once and shared by
+// every strategy — the plan is immutable after construction, so the
+// concurrent runs need no synchronization over it.
 func Sweep(b *Benchmark, opt Options, rc RunConfig, strategies []Strategy, tech Technology) ([]*Result, error) {
 	sp := obs.StartSpan("pim.sweep")
 	defer sp.End()
@@ -298,13 +314,14 @@ func Sweep(b *Benchmark, opt Options, rc RunConfig, strategies []Strategy, tech 
 	if strategies == nil {
 		strategies = AllStrategies()
 	}
+	plan := core.NewWearPlan(b.Trace, opt.Rows, opt.PresetOutputs)
 	results := make([]*Result, len(strategies))
 	errs := make([]error, len(strategies))
 	workers := pool.Size(rc.Workers, len(strategies))
 	inner := rc
 	inner.Workers = pool.Share(rc.Workers, workers)
 	pool.ForEach(workers, len(strategies), func(i int) {
-		results[i], errs[i] = Run(b, opt, inner, strategies[i], tech)
+		results[i], errs[i] = runPlanned(plan, b, inner, strategies[i], tech)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -316,12 +333,15 @@ func Sweep(b *Benchmark, opt Options, rc RunConfig, strategies []Strategy, tech 
 
 // Improvements converts sweep results into Fig. 17's lifetime-improvement
 // factors relative to the St×St baseline (which must be present), sorted
-// descending.
+// descending. When the input contains several St×St results — e.g.
+// concatenated sweeps — the first occurrence is the baseline,
+// deterministically, regardless of what follows.
 func Improvements(results []*Result) ([]Improvement, error) {
 	var base *Result
 	for _, r := range results {
 		if r.Strategy == StaticStrategy {
 			base = r
+			break
 		}
 	}
 	if base == nil {

@@ -1,0 +1,118 @@
+package pim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pimendure/internal/obs"
+	"pimendure/pim"
+)
+
+// Sweep shares one WearPlan across all 18 strategies; sharing must
+// change nothing observable — every sweep result must equal the result
+// of an individual Run (which builds its own plan on demand), bit for
+// bit on the distribution and exactly on the derived figures.
+func TestSweepMatchesIndividualRuns(t *testing.T) {
+	opt := pim.Options{Lanes: 8, Rows: 96, PresetOutputs: true, NANDBasis: true}
+	bench, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := pim.RunConfig{Iterations: 23, RecompileEvery: 7, Seed: 11, Workers: 3}
+	results, err := pim.Sweep(bench, opt, rc, nil, pim.MRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 18 {
+		t.Fatalf("sweep returned %d results, want 18", len(results))
+	}
+	for _, r := range results {
+		solo, err := pim.Run(bench, opt, rc, r.Strategy, pim.MRAM())
+		if err != nil {
+			t.Fatalf("%s: %v", r.Strategy.Name(), err)
+		}
+		if !r.Dist.Equal(solo.Dist) {
+			t.Errorf("%s: sweep distribution differs from individual Run", r.Strategy.Name())
+		}
+		if r.MaxWritesPerIteration != solo.MaxWritesPerIteration ||
+			r.Utilization != solo.Utilization ||
+			r.Lifetime != solo.Lifetime ||
+			r.Imbalance != solo.Imbalance {
+			t.Errorf("%s: sweep derived figures differ from individual Run", r.Strategy.Name())
+		}
+	}
+}
+
+// With several St×St entries in the input (e.g. concatenated sweeps),
+// Improvements must baseline against the first occurrence,
+// deterministically — not silently keep the last match.
+func TestImprovementsFirstBaselineWins(t *testing.T) {
+	ra := pim.Strategy{Within: pim.Random, Between: pim.Random}
+	results := []*pim.Result{
+		{Strategy: pim.StaticStrategy, MaxWritesPerIteration: 8},
+		{Strategy: ra, MaxWritesPerIteration: 2},
+		{Strategy: pim.StaticStrategy, MaxWritesPerIteration: 100},
+	}
+	imps, err := pim.Improvements(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrat := map[pim.Strategy]float64{}
+	for _, im := range imps {
+		if _, dup := byStrat[im.Strategy]; !dup {
+			byStrat[im.Strategy] = im.Factor
+		}
+	}
+	// Baseline 8 (the first St×St): Ra×Ra improves 4×. Against the last
+	// occurrence (100) it would report 50×.
+	if got := byStrat[ra]; got != 4 {
+		t.Errorf("RaxRa improvement = %v, want 4 (first St×St baseline)", got)
+	}
+	if got := byStrat[pim.StaticStrategy]; got != 1 {
+		t.Errorf("first St×St improvement over itself = %v, want 1", got)
+	}
+}
+
+// A sampled Sweep used to funnel all 18 runs through the single global
+// SetWearPNG hook, each overwriting the last nondeterministically. Runs
+// must now register per-series sources, every one of which stays
+// addressable (and renderable) after the sweep.
+func TestSampledSweepRegistersPerSeriesWearPNG(t *testing.T) {
+	opt := pim.Options{Lanes: 8, Rows: 96, PresetOutputs: true, NANDBasis: true}
+	bench, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := pim.RunConfig{Iterations: 12, RecompileEvery: 4, Seed: 2, Workers: 4, SampleEvery: 1}
+	results, err := pim.Sweep(bench, opt, rc, nil, pim.MRAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := map[string]bool{}
+	for _, name := range obs.WearPNGSources() {
+		registered[name] = true
+	}
+	defer func() {
+		for name := range registered {
+			obs.RegisterWearPNG(name, nil)
+		}
+	}()
+	for _, r := range results {
+		name := "wear." + bench.Name + "." + r.Strategy.Name()
+		if !registered[name] {
+			t.Errorf("no wear-PNG source registered for %s", name)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteWearPNG(&buf, name); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if buf.Len() < 8 || string(buf.Bytes()[1:4]) != "PNG" {
+			t.Errorf("%s: source did not render a PNG", name)
+		}
+		if r.Wear == nil || r.Wear.Len() == 0 {
+			t.Errorf("%s: no wear series recorded", r.Strategy.Name())
+		}
+	}
+}
