@@ -7,9 +7,9 @@ GO ?= go
 
 # Packages whose exported symbols must all carry doc comments (public
 # API + instrumented engine layers). Enforced by `make doclint`.
-DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool
+DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool ./internal/serve
 
-.PHONY: all build vet test race race-obs race-core bench bench-json bench-current benchdiff report ci doclint
+.PHONY: all build vet test race race-obs race-core race-serve bench bench-json bench-current benchdiff report ci doclint
 
 all: build
 
@@ -36,6 +36,12 @@ race-obs:
 # explicitly so an engine-level data race is named as such.
 race-core:
 	$(GO) test -race ./internal/core/...
+
+# The serving layer multiplexes one queue, one plan cache and one jobs
+# map across every concurrent request — including a 1000-connection
+# storm test; race it explicitly so a serving-path data race is named.
+race-serve:
+	$(GO) test -race ./internal/serve/...
 
 # Doc-lint: fail on undocumented exported symbols (revive `exported`
 # rule stand-in, zero dependencies).
@@ -82,7 +88,8 @@ report:
 
 # `bench` doubles as the CI benchmark smoke: -benchtime=1x executes every
 # benchmark body once, catching bit-rot in the measurement harness.
-# `benchdiff` then diffs that fresh snapshot — BenchmarkHwEngine and the
-# BenchmarkSweep sweep benchmarks included — against the committed
-# baseline: advisory locally, strict when BENCHDIFF_FLAGS=-strict.
-ci: vet doclint race-obs race-core race bench benchdiff
+# `benchdiff` then diffs that fresh snapshot — BenchmarkHwEngine, the
+# BenchmarkSweep sweep benchmarks and BenchmarkServeSweep's cold/cached
+# serving-throughput pair included — against the committed baseline:
+# advisory locally, strict when BENCHDIFF_FLAGS=-strict.
+ci: vet doclint race-obs race-core race-serve race bench benchdiff

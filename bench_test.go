@@ -11,7 +11,10 @@
 package pimendure
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -21,6 +24,7 @@ import (
 	"pimendure/internal/lifetime"
 	"pimendure/internal/obs"
 	"pimendure/internal/program"
+	"pimendure/internal/serve"
 	"pimendure/internal/stats"
 	"pimendure/internal/synth"
 	"pimendure/internal/workloads"
@@ -746,4 +750,76 @@ func BenchmarkGiniCoV(b *testing.B) {
 		g = stats.Gini(res.Dist.Counts)
 	}
 	b.ReportMetric(g, "gini")
+}
+
+// BenchmarkServeSweep measures the serving layer end to end over HTTP:
+// submit one sweep to internal/serve, poll the job to completion.
+// "cached" answers repeat requests from the WearPlan LRU (the first
+// iteration misses, the rest hit); "cold" runs the same requests
+// against a disabled cache, rebuilding the plan every time — the gap
+// between the two is what the cache buys a fleet of identical clients.
+func BenchmarkServeSweep(b *testing.B) {
+	body := []byte(`{"benchmark":"mult","bits":16,"lanes":64,"rows":1024,` +
+		`"iterations":100,"recompile_every":50,"seed":1,"strategies":["StxSt"]}`)
+	for _, mode := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"cached", 32},
+		{"cold", -1}, // negative capacity disables the PlanCache
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			obs.Reset()
+			obs.Enable()
+			defer func() {
+				obs.Disable()
+				obs.Reset()
+			}()
+			srv := serve.New(serve.Config{Workers: 2, QueueDepth: 64, CacheSize: mode.cacheSize})
+			defer srv.Close()
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			client := ts.Client()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var accepted struct {
+					Job string `json:"job"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&accepted)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != 202 {
+					b.Fatalf("submit: status %d err %v", resp.StatusCode, err)
+				}
+				for {
+					resp, err := client.Get(ts.URL + "/jobs/" + accepted.Job)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var st struct {
+						State string `json:"state"`
+						Error string `json:"error"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&st)
+					resp.Body.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.State == "done" {
+						break
+					}
+					if st.State == "failed" || st.State == "canceled" {
+						b.Fatalf("job finished %s: %s", st.State, st.Error)
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+			b.StopTimer()
+			hits := obs.GetCounter("serve.cache_hits").Value()
+			b.ReportMetric(float64(hits)/float64(b.N), "cache_hit_rate")
+		})
+	}
 }

@@ -1,0 +1,215 @@
+// Command loadgen drives a pimserve instance with a configurable storm
+// of concurrent sweep requests and reports what came back: clean 202s,
+// coalesced submissions, shed 429s, dropped connections, end-to-end
+// latency percentiles, sustained request throughput, and the server's
+// WearPlan cache-hit delta scraped from /metrics. It is the acceptance
+// harness for the serving layer — "N concurrent requests, zero dropped
+// connections, shed requests get clean 429s" is checked here against a
+// live server.
+//
+// Example (against `pimserve -serve localhost:8090`):
+//
+//	loadgen -target http://localhost:8090 -requests 2000 -concurrency 1000
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	target := flag.String("target", "http://localhost:8090", "pimserve base URL")
+	requests := flag.Int("requests", 2000, "total requests to send")
+	concurrency := flag.Int("concurrency", 1000, "concurrent in-flight requests")
+	benchmark := flag.String("benchmark", "mult", "benchmark to request")
+	bits := flag.Int("bits", 4, "operand precision")
+	lanes := flag.Int("lanes", 16, "array lanes")
+	rows := flag.Int("rows", 256, "array rows")
+	iterations := flag.Int("iterations", 60, "iterations per job")
+	recompile := flag.Int("recompile", 20, "recompile period")
+	strategies := flag.String("strategies", "StxSt", "comma-separated strategy labels (empty = all 18)")
+	distinct := flag.Int("distinct", 32, "distinct request shapes (seeds); 1 = maximal coalescing")
+	wait := flag.Bool("wait", true, "poll accepted jobs to completion before reporting")
+	flag.Parse()
+
+	var strats []string
+	if *strategies != "" {
+		strats = strings.Split(*strategies, ",")
+	}
+	client := &http.Client{
+		Timeout: 2 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * *concurrency,
+			MaxIdleConnsPerHost: 2 * *concurrency,
+		},
+	}
+
+	hitsBefore, _ := scrapeMetric(client, *target, "serve_cache_hits")
+	missesBefore, _ := scrapeMetric(client, *target, "serve_cache_misses")
+
+	var accepted, coalesced, shed, other, dropped atomic.Int64
+	latencies := make([]time.Duration, *requests)
+	jobs := make(chan string, *requests)
+	sem := make(chan struct{}, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body := map[string]any{
+				"benchmark":       *benchmark,
+				"bits":            *bits,
+				"lanes":           *lanes,
+				"rows":            *rows,
+				"iterations":      *iterations,
+				"recompile_every": *recompile,
+				"seed":            i % max(*distinct, 1),
+			}
+			if len(strats) > 0 {
+				body["strategies"] = strats
+			}
+			data, _ := json.Marshal(body)
+			t0 := time.Now()
+			resp, err := client.Post(*target+"/sweep", "application/json", bytes.NewReader(data))
+			latencies[i] = time.Since(t0)
+			if err != nil {
+				dropped.Add(1)
+				return
+			}
+			var out map[string]any
+			decErr := json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			switch {
+			case decErr != nil:
+				dropped.Add(1)
+			case resp.StatusCode == http.StatusAccepted:
+				accepted.Add(1)
+				if out["coalesced"] == true {
+					coalesced.Add(1)
+				}
+				if id, _ := out["job"].(string); id != "" {
+					jobs <- id
+				}
+			case resp.StatusCode == http.StatusTooManyRequests:
+				shed.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	submitWall := time.Since(start)
+	close(jobs)
+
+	unique := map[string]bool{}
+	for id := range jobs {
+		unique[id] = true
+	}
+	if *wait {
+		for id := range unique {
+			if err := pollDone(client, *target, id); err != nil {
+				log.Printf("job %s: %v", id, err)
+				other.Add(1)
+			}
+		}
+	}
+	totalWall := time.Since(start)
+
+	hitsAfter, hitsErr := scrapeMetric(client, *target, "serve_cache_hits")
+	missesAfter, _ := scrapeMetric(client, *target, "serve_cache_misses")
+
+	sort.Slice(latencies, func(i, k int) bool { return latencies[i] < latencies[k] })
+	pct := func(q float64) time.Duration {
+		return latencies[int(q*float64(len(latencies)-1))]
+	}
+	fmt.Printf("requests            %d (concurrency %d, %d distinct shapes)\n", *requests, *concurrency, *distinct)
+	fmt.Printf("accepted            %d (%d coalesced onto in-flight jobs, %d unique jobs)\n",
+		accepted.Load(), coalesced.Load(), len(unique))
+	fmt.Printf("shed (429)          %d\n", shed.Load())
+	fmt.Printf("dropped/errors      %d / %d\n", dropped.Load(), other.Load())
+	fmt.Printf("submit throughput   %.0f req/s (%.2fs wall)\n",
+		float64(*requests)/submitWall.Seconds(), submitWall.Seconds())
+	if *wait {
+		fmt.Printf("end-to-end wall     %.2fs (all accepted jobs finished)\n", totalWall.Seconds())
+	}
+	fmt.Printf("submit latency      p50 %v  p99 %v  max %v\n", pct(0.50), pct(0.99), pct(1))
+	if hitsErr == nil {
+		fmt.Printf("plan cache          +%d hits, +%d misses during the storm\n",
+			hitsAfter-hitsBefore, missesAfter-missesBefore)
+	}
+	if dropped.Load() > 0 || other.Load() > 0 {
+		log.Fatalf("FAIL: %d dropped connections, %d unexpected statuses", dropped.Load(), other.Load())
+	}
+	fmt.Println("PASS: every request got a clean 202 or 429")
+}
+
+// pollDone waits for one job to reach a terminal state.
+func pollDone(client *http.Client, base, id string) error {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("finished %s: %s", st.State, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("timed out")
+}
+
+// scrapeMetric pulls one counter value from the server's Prometheus
+// exposition.
+func scrapeMetric(client *http.Client, base, name string) (int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name)), 64)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v), nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"pimendure/internal/stats"
+)
+
+// syntheticDist builds a rows×lanes WriteDist whose counts come from
+// gen(i) — a hand-shaped distribution for driving Sample directly,
+// outside any engine.
+func syntheticDist(rows, lanes int, gen func(i int) uint64) *WriteDist {
+	d := &WriteDist{Rows: rows, Lanes: lanes, Counts: make([]uint64, rows*lanes)}
+	for i := range d.Counts {
+		d.Counts[i] = gen(i)
+	}
+	return d
+}
+
+func p99Of(t *testing.T, s *WearSampler) float64 {
+	t.Helper()
+	last := s.Series().Last()
+	if last == nil {
+		t.Fatal("sampler recorded no samples")
+	}
+	for i, c := range WearSeriesColumns {
+		if c == "p99_writes" {
+			return last[i]
+		}
+	}
+	t.Fatal("series lacks p99_writes")
+	return 0
+}
+
+func freshRadix(counts []uint64) float64 {
+	var max uint64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	p, _ := stats.PercentileRadix(counts, 0.99, max, nil)
+	return p
+}
+
+// When the counts grow much faster than the previous epoch predicted,
+// the true p99 lands entirely above the fused pass's window and the
+// exhausted window scan must fall back to the exact radix scan.
+func TestSampleP99FallbackAboveWindow(t *testing.T) {
+	s := NewWearSampler("test.p99.above", 1, 0)
+	const rows, lanes = 100, 100
+
+	// Epoch 0: flat counts of 10 seed the predictor (prevP99 = 10).
+	s.Sample(0, 1, syntheticDist(rows, lanes, func(int) uint64 { return 10 }))
+	if got := p99Of(t, s); got != 10 {
+		t.Fatalf("seed sample p99 = %v, want 10", got)
+	}
+	if s.prevP99 != 10 || s.prevIters != 1 {
+		t.Fatalf("predictor state = (%d, %d), want (10, 1)", s.prevP99, s.prevIters)
+	}
+
+	// Epoch 1: prediction 10×(2/1) = 20 puts the window at [0, 4096),
+	// but every count jumped to ≥ 6000 — no count falls in the window,
+	// none falls below it, so the scan exhausts without locating rank k.
+	d := syntheticDist(rows, lanes, func(i int) uint64 { return uint64(6000 + (i*7)%1000) })
+	s.Sample(1, 2, d)
+	want := freshRadix(d.Counts)
+	if want < 6000 {
+		t.Fatalf("degenerate fixture: fresh-scan p99 = %v, want ≥ 6000", want)
+	}
+	if got := p99Of(t, s); got != want {
+		t.Errorf("fallback p99 = %v, want fresh PercentileRadix %v", got, want)
+	}
+	if s.prevP99 != uint64(want) {
+		t.Errorf("predictor not updated from fallback: prevP99 = %d, want %d", s.prevP99, uint64(want))
+	}
+}
+
+// When the counts collapse far below the prediction, every cell sits
+// under the window's floor, rank k is below the window, and the sampler
+// must fall back rather than report the window edge.
+func TestSampleP99FallbackBelowWindow(t *testing.T) {
+	s := NewWearSampler("test.p99.below", 1, 0)
+	const rows, lanes = 100, 100
+
+	// Epoch 0: flat 100 000 (itself resolved by fallback — the first
+	// sample has no prediction, so its window is [0, 4096)).
+	s.Sample(0, 1, syntheticDist(rows, lanes, func(int) uint64 { return 100000 }))
+	if got := p99Of(t, s); got != 100000 {
+		t.Fatalf("seed sample p99 = %v, want 100000", got)
+	}
+
+	// Epoch 1: prediction 100000×(2/1) = 200000 puts the window at
+	// [197952, 202048); the true counts are ~50, all below it.
+	d := syntheticDist(rows, lanes, func(i int) uint64 { return uint64(40 + i%20) })
+	s.Sample(1, 2, d)
+	want := freshRadix(d.Counts)
+	if got := p99Of(t, s); got != want {
+		t.Errorf("fallback p99 = %v, want fresh PercentileRadix %v", got, want)
+	}
+
+	// Epoch 2: the predictor recovered from the fallback value, so a
+	// same-scale distribution now resolves inside the window — and must
+	// agree with the exact scan just the same.
+	d2 := syntheticDist(rows, lanes, func(i int) uint64 { return uint64(80 + i%40) })
+	s.Sample(2, 4, d2)
+	if got, want := p99Of(t, s), freshRadix(d2.Counts); got != want {
+		t.Errorf("windowed p99 = %v, want %v", got, want)
+	}
+}
+
+// A sampler whose bind was never called (no engine attached) must not
+// scale the dead-cell projection: with totalIts unset the counts are
+// taken as final, not extrapolated.
+func TestSampleDeadCellsWithoutBind(t *testing.T) {
+	deadOf := func(s *WearSampler) float64 {
+		last := s.Series().Last()
+		for i, c := range WearSeriesColumns {
+			if c == "projected_dead_cells" {
+				return last[i]
+			}
+		}
+		return -1
+	}
+	// 100 hot cells at 150 writes, the rest at 1; endurance 1000.
+	gen := func(i int) uint64 {
+		if i < 100 {
+			return 150
+		}
+		return 1
+	}
+
+	unbound := NewWearSampler("test.bind.none", 1, 1000)
+	unbound.Sample(0, 10, syntheticDist(100, 100, gen))
+	if got := deadOf(unbound); got != 0 {
+		t.Errorf("unbound sampler projected %v dead cells, want 0 (scale must stay 1)", got)
+	}
+
+	// The same distribution bound to a 100-iteration run extrapolates
+	// 10× — the hot cells project to 1500 ≥ endurance.
+	bound := NewWearSampler("test.bind.total", 1, 1000)
+	bound.bind(100)
+	bound.Sample(0, 10, syntheticDist(100, 100, gen))
+	if got := deadOf(bound); got != 100 {
+		t.Errorf("bound sampler projected %v dead cells, want 100", got)
+	}
+
+	// bind with a total at or below the accumulated iterations must not
+	// shrink the projection (scale only ever extrapolates forward).
+	capped := NewWearSampler("test.bind.capped", 1, 1000)
+	capped.bind(5)
+	capped.Sample(0, 10, syntheticDist(100, 100, gen))
+	if got := deadOf(capped); got != 0 {
+		t.Errorf("capped sampler projected %v dead cells, want 0", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 )
@@ -29,14 +30,36 @@ var seriesRegistry = struct {
 }{byName: map[string]*Series{}}
 
 // NewSeries creates and registers a series with the given column names.
-// A series already registered under the same name is replaced — a new
-// run of the same configuration starts a fresh trajectory.
+// A name already held by a live series is made unique with a "#2",
+// "#3", … suffix instead of replacing the registration: the old
+// behavior silently clobbered a concurrent run's trajectory (two
+// concurrent runs of the same benchmark interleaved one series and
+// orphaned the other's handle — exactly what concurrent sweep-server
+// requests do). Callers that need the registered name must read it back
+// with Name(). Use RemoveSeries to retire a name when its run is done.
 func NewSeries(name string, cols ...string) *Series {
-	s := &Series{name: name, cols: append([]string(nil), cols...)}
 	seriesRegistry.mu.Lock()
-	seriesRegistry.byName[name] = s
-	seriesRegistry.mu.Unlock()
+	defer seriesRegistry.mu.Unlock()
+	unique := name
+	for n := 2; ; n++ {
+		if _, taken := seriesRegistry.byName[unique]; !taken {
+			break
+		}
+		unique = fmt.Sprintf("%s#%d", name, n)
+	}
+	s := &Series{name: unique, cols: append([]string(nil), cols...)}
+	seriesRegistry.byName[unique] = s
 	return s
+}
+
+// RemoveSeries unregisters the named series, freeing the name for
+// reuse. The handle itself stays usable; it is just no longer exported
+// by AllSeries (/series, Run.Finish artifacts). Serving layers call it
+// when a job's per-request telemetry is folded into the job result.
+func RemoveSeries(name string) {
+	seriesRegistry.mu.Lock()
+	delete(seriesRegistry.byName, name)
+	seriesRegistry.mu.Unlock()
 }
 
 // AllSeries returns the registered series sorted by name.
@@ -151,16 +174,42 @@ func (s *Series) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// seriesJSON is the exported JSON shape of one series.
-type seriesJSON struct {
-	Name    string      `json:"name"`
-	Columns []string    `json:"columns"`
-	Samples [][]float64 `json:"samples"`
+// jsonFloat marshals non-finite values as null. Wear trajectories
+// legitimately contain NaN (the CoV of an all-zero distribution, a
+// projection without an endurance) and encoding/json rejects NaN/Inf
+// outright — which used to abort the whole /series response and the
+// series_*.json artifact write mid-run.
+type jsonFloat float64
+
+// MarshalJSON encodes the value, mapping NaN and ±Inf to null.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
 }
 
-// MarshalJSON exports the series as {name, columns, samples}.
+// seriesJSON is the exported JSON shape of one series.
+type seriesJSON struct {
+	Name    string        `json:"name"`
+	Columns []string      `json:"columns"`
+	Samples [][]jsonFloat `json:"samples"`
+}
+
+// MarshalJSON exports the series as {name, columns, samples}, with
+// non-finite sample values encoded as null.
 func (s *Series) MarshalJSON() ([]byte, error) {
-	return json.Marshal(seriesJSON{Name: s.name, Columns: s.Columns(), Samples: s.Samples()})
+	rows := s.Samples()
+	samples := make([][]jsonFloat, len(rows))
+	for i, row := range rows {
+		conv := make([]jsonFloat, len(row))
+		for j, v := range row {
+			conv[j] = jsonFloat(v)
+		}
+		samples[i] = conv
+	}
+	return json.Marshal(seriesJSON{Name: s.name, Columns: s.Columns(), Samples: samples})
 }
 
 // WriteSeriesJSON writes every registered series as one JSON array —

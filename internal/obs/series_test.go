@@ -3,6 +3,7 @@ package obs_test
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -93,18 +94,80 @@ func TestSeriesArityPanics(t *testing.T) {
 	s.Add(1)
 }
 
-// Re-registering a name starts a fresh trajectory (new-run semantics).
-func TestSeriesReplaceOnReregister(t *testing.T) {
+// Registering a live name must not clobber it: the second registration
+// gets a unique suffixed name, both trajectories stay exported, and the
+// first handle keeps recording into its own registration. (The old
+// replace-on-collision semantics interleaved two concurrent runs of the
+// same benchmark into one series and orphaned the other's handle.)
+func TestSeriesCollisionGetsUniqueName(t *testing.T) {
 	obs.Reset()
 	defer obs.Reset()
-	old := obs.NewSeries("test.replace", "v")
-	old.Add(1)
-	fresh := obs.NewSeries("test.replace", "v")
-	if fresh.Len() != 0 {
-		t.Error("re-registered series inherited samples")
+	first := obs.NewSeries("test.collide", "v")
+	first.Add(1)
+	second := obs.NewSeries("test.collide", "v")
+	third := obs.NewSeries("test.collide", "v")
+	if second == first || second.Len() != 0 {
+		t.Fatal("collision did not create a fresh series")
 	}
+	if second.Name() != "test.collide#2" || third.Name() != "test.collide#3" {
+		t.Errorf("suffixed names = %q, %q", second.Name(), third.Name())
+	}
+	second.Add(2)
 	all := obs.AllSeries()
-	if len(all) != 1 || all[0] != fresh {
-		t.Error("registry did not replace the series")
+	if len(all) != 3 || all[0] != first || all[1] != second {
+		t.Fatalf("registry lost a colliding series: %v", all)
+	}
+	if first.Len() != 1 || all[0].Last()[0] != 1 || all[1].Last()[0] != 2 {
+		t.Error("trajectories interleaved across the collision")
+	}
+}
+
+// RemoveSeries retires a name: the series stops being exported, the
+// handle survives, and the name is free for a fresh unsuffixed
+// registration — the scoping a job-serving layer needs to unregister a
+// request's telemetry at completion.
+func TestRemoveSeries(t *testing.T) {
+	obs.Reset()
+	defer obs.Reset()
+	s := obs.NewSeries("test.remove", "v")
+	s.Add(1)
+	obs.RemoveSeries("test.remove")
+	if len(obs.AllSeries()) != 0 {
+		t.Fatal("RemoveSeries left the series exported")
+	}
+	s.Add(2)
+	if s.Len() != 2 {
+		t.Error("series handle unusable after RemoveSeries")
+	}
+	if fresh := obs.NewSeries("test.remove", "v"); fresh.Name() != "test.remove" {
+		t.Errorf("name not freed: re-registered as %q", fresh.Name())
+	}
+}
+
+// Non-finite samples must not abort the JSON export: NaN and ±Inf
+// encode as null (encoding/json rejects them outright, which used to
+// truncate /series responses and fail series_*.json artifact writes).
+func TestSeriesJSONNonFinite(t *testing.T) {
+	obs.Reset()
+	defer obs.Reset()
+	s := obs.NewSeries("test.nan", "a", "b", "c")
+	s.Add(1, math.NaN(), math.Inf(1))
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal with NaN sample: %v", err)
+	}
+	var back struct {
+		Samples [][]*float64 `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	row := back.Samples[0]
+	if *row[0] != 1 || row[1] != nil || row[2] != nil {
+		t.Errorf("non-finite encoding = %s", data)
+	}
+	var blob bytes.Buffer
+	if err := obs.WriteSeriesJSON(&blob); err != nil {
+		t.Errorf("WriteSeriesJSON with NaN sample: %v", err)
 	}
 }

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -96,11 +99,85 @@ func lookupWearPNG(name string) func(io.Writer) error {
 	return fn
 }
 
+// extraHandlers is the dynamic route registry behind Handle: serving
+// layers (internal/serve's job endpoints) mount themselves here and the
+// telemetry server consults the registry on every request, so handlers
+// may be registered before or after the server starts. Patterns follow
+// a reduced http.ServeMux discipline: exact paths ("/sweep") or rooted
+// subtrees ("/jobs/").
+var extraHandlers = struct {
+	mu sync.RWMutex
+	m  map[string]http.Handler
+}{m: map[string]http.Handler{}}
+
+// Handle registers (or, with a nil handler, removes) a handler on the
+// telemetry server under the given pattern — an exact path, or a
+// subtree when the pattern ends in "/". The built-in endpoints
+// (/metrics, /healthz, /series, /wear.png) cannot be shadowed: the
+// registry is consulted only for paths the static mux does not serve.
+func Handle(pattern string, h http.Handler) {
+	extraHandlers.mu.Lock()
+	defer extraHandlers.mu.Unlock()
+	if h == nil {
+		delete(extraHandlers.m, pattern)
+		return
+	}
+	extraHandlers.m[pattern] = h
+}
+
+// lookupHandler resolves a request path against the dynamic registry:
+// exact match first, then the longest registered subtree prefix.
+func lookupHandler(path string) http.Handler {
+	extraHandlers.mu.RLock()
+	defer extraHandlers.mu.RUnlock()
+	if h, ok := extraHandlers.m[path]; ok {
+		return h
+	}
+	var best string
+	var bestH http.Handler
+	for pat, h := range extraHandlers.m {
+		if len(pat) > 0 && pat[len(pat)-1] == '/' &&
+			len(path) >= len(pat) && path[:len(pat)] == pat && len(pat) > len(best) {
+			best, bestH = pat, h
+		}
+	}
+	return bestH
+}
+
+// telemetryShutdownTimeout bounds how long Close waits for in-flight
+// telemetry responses before severing them (a package var so the
+// timeout-fallback path is testable).
+var telemetryShutdownTimeout = 2 * time.Second
+
+// SetTelemetryShutdownTimeout overrides the graceful-close deadline and
+// returns a func restoring the previous value — a test hook for the
+// Close-after-timeout fallback path.
+func SetTelemetryShutdownTimeout(d time.Duration) func() {
+	old := telemetryShutdownTimeout
+	telemetryShutdownTimeout = d
+	return func() { telemetryShutdownTimeout = old }
+}
+
 // telemetryServer is the HTTP server behind -serve: live Prometheus
 // exposition, health, series snapshots and the wear heatmap.
 type telemetryServer struct {
 	ln  net.Listener
 	srv *http.Server
+}
+
+// buffered wraps a renderer so the response is staged in memory first:
+// a renderer that fails after a direct write would already have sent a
+// 200 header and a truncated body. With the buffer the error path can
+// still return a real 500, and success responses carry Content-Length.
+func buffered(w http.ResponseWriter, contentType string, render func(io.Writer) error) {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
 }
 
 // startTelemetryServer binds addr synchronously (so a bad address fails
@@ -123,8 +200,7 @@ func startTelemetryServer(addr string) (*telemetryServer, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/series", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = WriteSeriesJSON(w)
+		buffered(w, "application/json", WriteSeriesJSON)
 	})
 	mux.HandleFunc("/wear.png", func(w http.ResponseWriter, r *http.Request) {
 		fn := lookupWearPNG(r.URL.Query().Get("name"))
@@ -132,14 +208,26 @@ func startTelemetryServer(addr string) (*telemetryServer, error) {
 			http.Error(w, "no wear sampler active (run with sampling enabled)", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "image/png")
-		_ = fn(w)
+		buffered(w, "image/png", fn)
+	})
+	// Static endpoints win; anything else consults the dynamic Handle
+	// registry so serving layers can mount work endpoints at any time.
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pat := mux.Handler(r); pat != "" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		if h := lookupHandler(r.URL.Path); h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: telemetry server on %s: %w", addr, err)
 	}
-	ts := &telemetryServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	ts := &telemetryServer{ln: ln, srv: &http.Server{Handler: root, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = ts.srv.Serve(ln) }() // runs until Close
 	return ts, nil
 }
@@ -147,5 +235,17 @@ func startTelemetryServer(addr string) (*telemetryServer, error) {
 // Addr returns the server's bound address (useful with ":0").
 func (t *telemetryServer) Addr() string { return t.ln.Addr().String() }
 
-// Close stops the server and releases its listener.
-func (t *telemetryServer) Close() error { return t.srv.Close() }
+// Close stops the server gracefully: the listener closes immediately,
+// in-flight responses (a /wear.png render, a long /series snapshot, a
+// serving layer's job poll) get telemetryShutdownTimeout to complete,
+// and only connections still open after the deadline are severed. The
+// old behavior — http.Server.Close unconditionally — cut response
+// bodies mid-write.
+func (t *telemetryServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), telemetryShutdownTimeout)
+	defer cancel()
+	if err := t.srv.Shutdown(ctx); err != nil {
+		return t.srv.Close()
+	}
+	return nil
+}

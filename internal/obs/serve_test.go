@@ -6,9 +6,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"pimendure/internal/obs"
 
@@ -127,6 +129,235 @@ func TestTelemetryServer(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Error("telemetry server still serving after Finish")
+	}
+}
+
+// startServer boots a telemetry server on localhost:0 via the Run
+// lifecycle and returns its bound address plus the Run for teardown.
+func startServer(t *testing.T) (string, *obs.Run) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	run := obs.NewRun("servetest", fs)
+	if err := fs.Parse([]string{"-serve", "localhost:0", "-trace=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return run.ServeBound(), run
+}
+
+// Stopping the telemetry server must let an in-flight response finish:
+// Close now drains via http.Server.Shutdown instead of severing open
+// connections mid-body. The handler parks after its first write until
+// the test has initiated Close, so the remainder of the body crosses
+// the server-stop boundary.
+func TestTelemetryServerGracefulClose(t *testing.T) {
+	obs.Reset()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	addr, run := startServer(t)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	obs.Handle("/slow", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, "first-half ")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		close(started)
+		<-release
+		fmt.Fprint(w, "second-half")
+	}))
+	defer obs.Handle("/slow", nil)
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+
+	<-started
+	closed := make(chan error, 1)
+	go func() { closed <- run.Finish(t.TempDir(), nil, 0, io.Discard) }()
+	// Finish is now blocked in Shutdown waiting on /slow; let the
+	// handler complete and require the full body on the client side.
+	release <- struct{}{}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across server stop: %v", r.err)
+	}
+	if r.body != "first-half second-half" {
+		t.Errorf("in-flight body truncated: %q", r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A handler still running past the shutdown deadline is severed by the
+// Close fallback instead of hanging teardown forever.
+func TestTelemetryServerCloseTimeout(t *testing.T) {
+	obs.Reset()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	restore := obs.SetTelemetryShutdownTimeout(50 * time.Millisecond)
+	defer restore()
+	addr, run := startServer(t)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	obs.Handle("/hang", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "partial")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		close(started)
+		<-release
+	}))
+	defer obs.Handle("/hang", nil)
+
+	go func() {
+		resp, err := http.Get("http://" + addr + "/hang")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() {
+		run.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung past the shutdown deadline on a stuck handler")
+	}
+}
+
+// A failing renderer must surface as a 500, not a 200 with a truncated
+// body: the handlers now stage the response in a buffer before writing.
+func TestWearPNGHandlerErrorPath(t *testing.T) {
+	obs.Reset()
+	defer func() {
+		obs.Disable()
+		obs.SetWearPNG(nil)
+		obs.Reset()
+	}()
+	addr, run := startServer(t)
+	defer run.Close()
+
+	obs.SetWearPNG(func(w io.Writer) error {
+		fmt.Fprint(w, "\x89PNG partial garbage")
+		return fmt.Errorf("render exploded mid-image")
+	})
+	code, ctype, body := get(t, addr, "/wear.png")
+	if code != http.StatusInternalServerError {
+		t.Errorf("failing renderer returned %d, want 500", code)
+	}
+	if strings.HasPrefix(ctype, "image/png") || bytes.Contains(body, []byte("\x89PNG")) {
+		t.Errorf("error response leaked partial image bytes: %q (%s)", body, ctype)
+	}
+	if !strings.Contains(string(body), "render exploded") {
+		t.Errorf("error response does not carry the renderer error: %q", body)
+	}
+
+	// A successful render advertises its exact length.
+	obs.SetWearPNG(func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "\x89PNG ok")
+		return err
+	})
+	resp, err := http.Get("http://" + addr + "/wear.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != int64(len("\x89PNG ok")) {
+		t.Errorf("Content-Length = %d, want %d", resp.ContentLength, len("\x89PNG ok"))
+	}
+}
+
+// The /series endpoint stays well-formed when a series carries NaN
+// samples (a live CoV of an all-zero distribution does) — non-finite
+// values encode as null instead of aborting the response body.
+func TestSeriesHandlerNonFinite(t *testing.T) {
+	obs.Reset()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	addr, run := startServer(t)
+	defer run.Close()
+
+	obs.NewSeries("serve.nan", "v", "cov").Add(1, math.NaN())
+	code, _, body := get(t, addr, "/series")
+	if code != http.StatusOK {
+		t.Fatalf("/series with NaN sample = %d: %s", code, body)
+	}
+	var series []struct {
+		Samples [][]*float64 `json:"samples"`
+	}
+	if err := json.Unmarshal(body, &series); err != nil {
+		t.Fatalf("/series with NaN sample not JSON: %v\n%s", err, body)
+	}
+	if len(series) != 1 || series[0].Samples[0][1] != nil {
+		t.Errorf("NaN sample not encoded as null: %s", body)
+	}
+}
+
+// The dynamic Handle registry: routes can be mounted after the server
+// is up, subtree patterns match, built-ins are not shadowed, and
+// removal restores 404.
+func TestTelemetryServerDynamicHandlers(t *testing.T) {
+	obs.Reset()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	addr, run := startServer(t)
+	defer run.Close()
+
+	code, _, _ := get(t, addr, "/jobs/j1")
+	if code != http.StatusNotFound {
+		t.Fatalf("unmounted route = %d, want 404", code)
+	}
+	obs.Handle("/jobs/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "job:%s", strings.TrimPrefix(r.URL.Path, "/jobs/"))
+	}))
+	obs.Handle("/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "shadowed")
+	}))
+	defer obs.Handle("/jobs/", nil)
+	defer obs.Handle("/healthz", nil)
+
+	code, _, body := get(t, addr, "/jobs/j1")
+	if code != http.StatusOK || string(body) != "job:j1" {
+		t.Errorf("subtree handler = %d %q", code, body)
+	}
+	if code, _, body = get(t, addr, "/healthz"); strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("built-in /healthz was shadowed: %d %q", code, body)
+	}
+	obs.Handle("/jobs/", nil)
+	if code, _, _ = get(t, addr, "/jobs/j1"); code != http.StatusNotFound {
+		t.Errorf("removed handler still routed: %d", code)
 	}
 }
 

@@ -1,0 +1,111 @@
+package pool
+
+import (
+	"sync"
+
+	"pimendure/internal/obs"
+)
+
+// Queue observability: accepted and rejected admissions. The depth
+// watermark lives with the caller (serving layers track their own
+// gauge), since Queue cannot know what one unit of depth means to it.
+var (
+	obsQueueAccepted = obs.GetCounter("pool.queue.accepted")
+	obsQueueRejected = obs.GetCounter("pool.queue.rejected")
+)
+
+// Queue is the bounded work queue counterpart of ForEach: a fixed set
+// of worker goroutines drains a fixed-depth buffer of items, and
+// admission is non-blocking — TryEnqueue refuses instead of stalling
+// the caller when the buffer is full. It exists for long-running
+// serving layers (accept work forever, shed under load) where ForEach's
+// run-to-completion shape does not fit.
+type Queue[T any] struct {
+	ch  chan T
+	run func(T)
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewQueue starts `workers` goroutines (clamped to at least 1) draining
+// a queue of at most `depth` pending items (clamped to at least 1) and
+// calling run on each. Items are processed in admission order, up to
+// `workers` concurrently.
+func NewQueue[T any](workers, depth int, run func(T)) *Queue[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	q := &Queue[T]{ch: make(chan T, depth), run: run}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.wg.Done()
+			for item := range q.ch {
+				sp := obs.StartSpan("pool.queue.job")
+				q.run(item)
+				sp.End()
+			}
+		}()
+	}
+	return q
+}
+
+// TryEnqueue admits an item, or reports false without blocking when the
+// queue is full or closed — the admission-control primitive behind a
+// serving layer's 429 path.
+func (q *Queue[T]) TryEnqueue(item T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		obsQueueRejected.Add(1)
+		return false
+	}
+	select {
+	case q.ch <- item:
+		obsQueueAccepted.Add(1)
+		return true
+	default:
+		obsQueueRejected.Add(1)
+		return false
+	}
+}
+
+// Depth returns the number of items admitted but not yet picked up by a
+// worker.
+func (q *Queue[T]) Depth() int { return len(q.ch) }
+
+// Close stops admission, waits for the workers to finish the items they
+// are already running, and returns the items that were still queued —
+// the caller decides whether to cancel or complete them. Safe to call
+// more than once; later calls wait and return nil.
+func (q *Queue[T]) Close() []T {
+	q.mu.Lock()
+	already := q.closed
+	q.closed = true
+	q.mu.Unlock()
+	if already {
+		q.wg.Wait()
+		return nil
+	}
+	// No sender can be in flight past this point (TryEnqueue checks
+	// closed under the mutex), so drain what the workers have not taken
+	// and close the channel to let them exit.
+	var drained []T
+	for {
+		select {
+		case item := <-q.ch:
+			drained = append(drained, item)
+			continue
+		default:
+		}
+		break
+	}
+	close(q.ch)
+	q.wg.Wait()
+	return drained
+}

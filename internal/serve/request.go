@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"pimendure/internal/mapping"
+	"pimendure/pim"
+)
+
+// Request is the JSON body of POST /sweep and POST /run: a named
+// benchmark, the array geometry, a pim.RunConfig, a strategy selection
+// and a device technology. Zero fields take the paper's §4 defaults, so
+// `{"benchmark":"mult"}` is a complete full-scale sweep request.
+type Request struct {
+	// Benchmark names the kernel: "mult"/"multiplication",
+	// "dot"/"dot-product", "conv"/"convolution", "add"/"vector-add",
+	// or "bnn".
+	Benchmark string `json:"benchmark"`
+	// Bits is the operand precision (default 32; convolution 8).
+	Bits int `json:"bits,omitempty"`
+	// N is the dot-product length (default: the lane count).
+	N int `json:"n,omitempty"`
+	// GroupLanes and MultsPerLane shape the convolution (default 4×3).
+	GroupLanes   int `json:"group_lanes,omitempty"`
+	MultsPerLane int `json:"mults_per_lane,omitempty"`
+	// Synapses sizes the BNN layer (default 64).
+	Synapses int `json:"synapses,omitempty"`
+
+	// Lanes × Rows is the array geometry (default 1024×1024).
+	Lanes int `json:"lanes,omitempty"`
+	Rows  int `json:"rows,omitempty"`
+	// NoPreset disables the CRAM-style output preset write; Mixed2
+	// selects the minimum two-input basis over NAND; LowestFirstAlloc
+	// switches to the adversarial ablation allocator.
+	NoPreset         bool `json:"no_preset,omitempty"`
+	Mixed2           bool `json:"mixed2,omitempty"`
+	LowestFirstAlloc bool `json:"lowest_first_alloc,omitempty"`
+
+	// Iterations, RecompileEvery, Seed, Workers and SampleEvery mirror
+	// pim.RunConfig (defaults 10000, 100, 0, server-budgeted, 0).
+	Iterations     int   `json:"iterations,omitempty"`
+	RecompileEvery int   `json:"recompile_every,omitempty"`
+	Seed           int64 `json:"seed,omitempty"`
+	Workers        int   `json:"workers,omitempty"`
+	SampleEvery    int   `json:"sample_every,omitempty"`
+
+	// Strategies selects load-balancing configurations by paper label
+	// ("StxSt", "RaxBs+Hw", …). Empty means all 18 for /sweep and the
+	// St×St baseline for /run.
+	Strategies []string `json:"strategies,omitempty"`
+	// Technology names the device model: "MRAM" (default), "RRAM",
+	// "PCM", "MRAM-projected".
+	Technology string `json:"technology,omitempty"`
+}
+
+// normalized returns the request with every defaulted field filled in —
+// the canonical form behind coalescing fingerprints, so a request
+// relying on defaults and one spelling them out coalesce together.
+func (r Request) normalized() Request {
+	switch strings.ToLower(r.Benchmark) {
+	case "mult", "multiplication":
+		r.Benchmark = "mult"
+	case "dot", "dot-product", "dotproduct":
+		r.Benchmark = "dot"
+	case "conv", "convolution":
+		r.Benchmark = "conv"
+	case "add", "vadd", "vector-add", "vectoradd":
+		r.Benchmark = "add"
+	case "bnn":
+		r.Benchmark = "bnn"
+	}
+	if r.Lanes <= 0 {
+		r.Lanes = 1024
+	}
+	if r.Rows <= 0 {
+		r.Rows = 1024
+	}
+	if r.Bits <= 0 {
+		if r.Benchmark == "conv" {
+			r.Bits = 8
+		} else {
+			r.Bits = 32
+		}
+	}
+	if r.N <= 0 {
+		r.N = r.Lanes
+	}
+	if r.GroupLanes <= 0 {
+		r.GroupLanes = 4
+	}
+	if r.MultsPerLane <= 0 {
+		r.MultsPerLane = 3
+	}
+	if r.Synapses <= 0 {
+		r.Synapses = 64
+	}
+	if r.Iterations <= 0 {
+		r.Iterations = 10000
+	}
+	if r.RecompileEvery == 0 {
+		r.RecompileEvery = 100
+	}
+	if r.Technology == "" {
+		r.Technology = "MRAM"
+	}
+	return r
+}
+
+// validate checks a normalized request against the server's admission
+// caps — the cheap rejection (400) that keeps a hostile or mistyped
+// request from ever reaching the compile/simulate pipeline.
+func (r Request) validate(cfg Config) error {
+	switch r.Benchmark {
+	case "mult", "dot", "conv", "add", "bnn":
+	case "":
+		return fmt.Errorf("missing benchmark (mult, dot, conv, add, bnn)")
+	default:
+		return fmt.Errorf("unknown benchmark %q (mult, dot, conv, add, bnn)", r.Benchmark)
+	}
+	if r.Lanes > cfg.MaxLanes || r.Rows > cfg.MaxRows {
+		return fmt.Errorf("array %d×%d exceeds the server cap %d×%d", r.Lanes, r.Rows, cfg.MaxLanes, cfg.MaxRows)
+	}
+	if r.Iterations > cfg.MaxIterations {
+		return fmt.Errorf("iterations %d exceeds the server cap %d", r.Iterations, cfg.MaxIterations)
+	}
+	if r.SampleEvery < 0 {
+		return fmt.Errorf("sample_every must be ≥ 0")
+	}
+	if _, err := r.technology(); err != nil {
+		return err
+	}
+	if _, err := parseStrategies(r.Strategies); err != nil {
+		return err
+	}
+	return nil
+}
+
+// technology resolves the named device model.
+func (r Request) technology() (pim.Technology, error) {
+	for _, t := range pim.Technologies() {
+		if strings.EqualFold(t.Name, r.Technology) {
+			return t, nil
+		}
+	}
+	return pim.Technology{}, fmt.Errorf("unknown technology %q (MRAM, RRAM, PCM, MRAM-projected)", r.Technology)
+}
+
+// parseStrategies converts paper labels ("RaxBs+Hw") into strategy
+// configurations; an empty list returns nil (the caller's default).
+func parseStrategies(labels []string) ([]pim.Strategy, error) {
+	if len(labels) == 0 {
+		return nil, nil
+	}
+	out := make([]pim.Strategy, 0, len(labels))
+	for _, label := range labels {
+		s, err := parseStrategy(label)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseStrategy(label string) (pim.Strategy, error) {
+	var s pim.Strategy
+	name := strings.TrimSpace(label)
+	if strings.HasSuffix(name, "+Hw") {
+		s.Hw = true
+		name = strings.TrimSuffix(name, "+Hw")
+	}
+	parts := strings.SplitN(name, "x", 2)
+	if len(parts) != 2 {
+		return s, fmt.Errorf("malformed strategy %q (want e.g. \"RaxBs+Hw\")", label)
+	}
+	var err error
+	if s.Within, err = mapping.ParseStrategy(parts[0]); err != nil {
+		return s, fmt.Errorf("strategy %q: %v", label, err)
+	}
+	if s.Between, err = mapping.ParseStrategy(parts[1]); err != nil {
+		return s, fmt.Errorf("strategy %q: %v", label, err)
+	}
+	return s, nil
+}
+
+// fingerprint is the coalescing key: two requests with the same
+// canonical form (and endpoint kind) are the same work.
+func (r Request) fingerprint(sweep bool) string {
+	data, _ := json.Marshal(r) // struct of plain fields; cannot fail
+	kind := "run:"
+	if sweep {
+		kind = "sweep:"
+	}
+	return kind + string(data)
+}
+
+// options converts the geometry/compile fields to pim.Options.
+func (r Request) options() pim.Options {
+	return pim.Options{
+		Lanes:            r.Lanes,
+		Rows:             r.Rows,
+		PresetOutputs:    !r.NoPreset,
+		NANDBasis:        !r.Mixed2,
+		LowestFirstAlloc: r.LowestFirstAlloc,
+	}
+}
+
+// compile builds the named benchmark — the expensive half of request
+// construction, run on a queue worker rather than the request handler.
+func (r Request) compile() (*pim.Benchmark, error) {
+	opt := r.options()
+	switch r.Benchmark {
+	case "mult":
+		return pim.NewParallelMult(opt, r.Bits)
+	case "dot":
+		return pim.NewDotProduct(opt, r.N, r.Bits)
+	case "conv":
+		return pim.NewConvolution(opt, r.GroupLanes, r.MultsPerLane, r.Bits)
+	case "add":
+		return pim.NewVectorAdd(opt, r.Bits)
+	case "bnn":
+		return pim.NewBNNLayer(opt, r.Synapses)
+	}
+	return nil, fmt.Errorf("unknown benchmark %q", r.Benchmark)
+}

@@ -1,0 +1,595 @@
+// Package serve is the endurance-as-a-service layer: an HTTP job server
+// that turns pim.Sweep/pim.Run into POST /sweep and POST /run requests.
+//
+// Every request is admission-controlled through a bounded pool.Queue —
+// when the queue is full the server sheds the request with a clean
+// 429 + Retry-After instead of queueing unboundedly or severing the
+// connection. Identical in-flight requests (same canonical form) are
+// coalesced onto one execution, and the expensive per-benchmark
+// core.WearPlan is reused across jobs through a pim.PlanCache, so a
+// fleet of clients sweeping the same workloads costs one plan build.
+// Accepted requests return a job id that clients poll on GET /jobs/<id>
+// for per-epoch wear progress (from the job's scoped obs.Series) and,
+// on completion, the full per-strategy results.
+//
+// The package deliberately does not own an http.Server: it implements
+// http.Handler and mounts its routes onto the obs telemetry server via
+// Server.Mount(obs.Handle), so /sweep, /run and /jobs share the
+// process's -serve listener with /metrics, /series and /wear.png.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pimendure/internal/obs"
+	"pimendure/internal/pool"
+	"pimendure/pim"
+)
+
+// Serving counters and gauges, exported on /metrics. cache_hits counts
+// jobs whose WearPlan came from the PlanCache; queue_depth is the
+// high-water mark of jobs admitted but not yet picked up by a worker.
+var (
+	obsJobsAccepted  = obs.GetCounter("serve.jobs_accepted")
+	obsJobsCompleted = obs.GetCounter("serve.jobs_completed")
+	obsJobsFailed    = obs.GetCounter("serve.jobs_failed")
+	obsJobsShed      = obs.GetCounter("serve.jobs_shed")
+	obsJobsCoalesced = obs.GetCounter("serve.jobs_coalesced")
+	obsCacheHits     = obs.GetCounter("serve.cache_hits")
+	obsCacheMisses   = obs.GetCounter("serve.cache_misses")
+	obsQueueDepth    = obs.GetGauge("serve.queue_depth")
+)
+
+// Config sizes the serving layer. The zero value selects sensible
+// defaults; see each field.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (default
+	// GOMAXPROCS). Each job additionally fans its strategies out over
+	// the engine pool, budgeted so the total stays near GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 64).
+	// Beyond it, requests are shed with 429 + Retry-After.
+	QueueDepth int
+	// CacheSize bounds the WearPlan LRU (default 32 plans; 0 keeps the
+	// default — use a negative value to disable caching).
+	CacheSize int
+	// History bounds how many finished jobs stay pollable before the
+	// oldest are forgotten (default 16384).
+	History int
+	// RetryAfter is the hint returned with a 429 (default 1s).
+	RetryAfter time.Duration
+	// MaxLanes, MaxRows and MaxIterations cap what a single request may
+	// ask for (defaults 4096, 4096 and 10 000 000) — admission control
+	// against accidental or hostile million-lane sweeps.
+	MaxLanes      int
+	MaxRows       int
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 32
+	}
+	if c.History <= 0 {
+		c.History = 16384
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxLanes <= 0 {
+		c.MaxLanes = 4096
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 4096
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 10_000_000
+	}
+	return c
+}
+
+// Server is the job server. Create with New, mount with Mount (or use
+// it directly as an http.Handler), stop with Close.
+type Server struct {
+	cfg   Config
+	cache *pim.PlanCache
+	queue *pool.Queue[*job]
+
+	mu       sync.Mutex
+	jobs     map[string]*job // by id, running and finished
+	inflight map[string]*job // by request fingerprint, for coalescing
+	finished []string        // completion order, for history eviction
+	nextID   int
+	closed   bool
+
+	// testBeforeRun, when non-nil, runs at the top of exec — the test
+	// hook that holds jobs in the running state deterministically. Set
+	// before the first request; never touched in production.
+	testBeforeRun func(*job)
+}
+
+// job is one accepted request moving through queued → running →
+// done/failed (or canceled, when Close drains it before a worker runs
+// it).
+type job struct {
+	id    string
+	fp    string
+	req   Request
+	sweep bool
+
+	mu        sync.Mutex
+	state     string
+	coalesced int
+	err       string
+	result    *JobResult
+	enqueued  time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// New creates a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    pim.NewPlanCache(cfg.CacheSize),
+		jobs:     map[string]*job{},
+		inflight: map[string]*job{},
+	}
+	s.queue = pool.NewQueue(cfg.Workers, cfg.QueueDepth, s.exec)
+	return s
+}
+
+// Mount registers the server's routes through the given registrar —
+// typically obs.Handle, which grafts them onto the -serve telemetry
+// listener next to /metrics.
+func (s *Server) Mount(register func(pattern string, h http.Handler)) {
+	register("/sweep", s)
+	register("/run", s)
+	register("/jobs", s)
+	register("/jobs/", s)
+}
+
+// Unmount removes the routes registered by Mount.
+func (s *Server) Unmount(register func(pattern string, h http.Handler)) {
+	register("/sweep", nil)
+	register("/run", nil)
+	register("/jobs", nil)
+	register("/jobs/", nil)
+}
+
+// Close stops admission, waits for running jobs to finish, and marks
+// jobs still queued as canceled. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	for _, j := range s.queue.Close() {
+		s.finish(j, nil, fmt.Errorf("server shut down before the job ran"), "canceled")
+	}
+}
+
+// ServeHTTP routes POST /sweep, POST /run, GET /jobs and GET /jobs/<id>.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/sweep":
+		s.submit(w, r, true)
+	case r.URL.Path == "/run":
+		s.submit(w, r, false)
+	case r.URL.Path == "/jobs":
+		s.listJobs(w, r)
+	case strings.HasPrefix(r.URL.Path, "/jobs/"):
+		s.getJob(w, r, strings.TrimPrefix(r.URL.Path, "/jobs/"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// submit is the admission path: parse, validate, coalesce, enqueue-or-
+// shed. Everything here is cheap — compilation and simulation happen on
+// a queue worker.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req = req.normalized()
+	if err := req.validate(s.cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fp := req.fingerprint(sweep)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if j, ok := s.inflight[fp]; ok {
+		j.mu.Lock()
+		j.coalesced++
+		j.mu.Unlock()
+		s.mu.Unlock()
+		obsJobsCoalesced.Add(1)
+		s.accepted(w, j, true)
+		return
+	}
+	s.nextID++
+	j := &job{
+		id:       fmt.Sprintf("j%06d", s.nextID),
+		fp:       fp,
+		req:      req,
+		sweep:    sweep,
+		state:    "queued",
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	// Register and enqueue under one lock: a concurrent identical request
+	// must not coalesce onto a job that the shed path is about to retract.
+	// TryEnqueue never blocks, so holding the mutex across it is cheap.
+	s.jobs[j.id] = j
+	s.inflight[fp] = j
+	if !s.queue.TryEnqueue(j) {
+		delete(s.jobs, j.id)
+		delete(s.inflight, fp)
+		s.mu.Unlock()
+		obsJobsShed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "queue full (%d pending); retry later", s.queue.Depth())
+		return
+	}
+	s.mu.Unlock()
+	obsJobsAccepted.Add(1)
+	obsQueueDepth.Observe(int64(s.queue.Depth()))
+	s.accepted(w, j, false)
+}
+
+func (s *Server) accepted(w http.ResponseWriter, j *job, coalesced bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"job":       j.id,
+		"coalesced": coalesced,
+		"poll":      "/jobs/" + j.id,
+	})
+}
+
+// exec runs one job on a queue worker: compile the benchmark, fetch or
+// build the WearPlan through the cache, simulate, then unregister the
+// job's scoped telemetry.
+func (s *Server) exec(j *job) {
+	j.mu.Lock()
+	j.state = "running"
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	if s.testBeforeRun != nil {
+		s.testBeforeRun(j)
+	}
+	result, err := s.run(j)
+	s.finish(j, result, err, "")
+}
+
+func (s *Server) run(j *job) (*JobResult, error) {
+	req := j.req
+	bench, err := req.compile()
+	if err != nil {
+		return nil, err
+	}
+	tech, err := req.technology()
+	if err != nil {
+		return nil, err
+	}
+	strategies, err := parseStrategies(req.Strategies)
+	if err != nil {
+		return nil, err
+	}
+	rc := pim.RunConfig{
+		Iterations:     req.Iterations,
+		RecompileEvery: req.RecompileEvery,
+		Seed:           req.Seed,
+		Workers:        req.Workers,
+		SampleEvery:    req.SampleEvery,
+		SeriesPrefix:   "serve." + j.id + ".",
+	}
+	if rc.Workers <= 0 {
+		// Budget the engine pool against the job workers so a full queue
+		// does not oversubscribe the CPU cfg.Workers-fold.
+		rc.Workers = pool.Share(runtime.GOMAXPROCS(0), s.cfg.Workers)
+	}
+
+	var results []*pim.Result
+	var hit bool
+	if j.sweep {
+		results, hit, err = s.cache.Sweep(bench, req.options(), rc, strategies, tech)
+	} else {
+		var res *pim.Result
+		strat := pim.StaticStrategy
+		if len(strategies) > 0 {
+			strat = strategies[0]
+		}
+		res, hit, err = s.cache.Run(bench, req.options(), rc, strat, tech)
+		results = []*pim.Result{res}
+	}
+	if hit {
+		obsCacheHits.Add(1)
+	} else {
+		obsCacheMisses.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer releaseTelemetry(results)
+	return buildResult(j, results, hit), nil
+}
+
+// releaseTelemetry unregisters a finished job's scoped series and
+// wear-PNG sources: the samples live on in the JobResult, and the
+// registry stays bounded no matter how many jobs the server has run.
+func releaseTelemetry(results []*pim.Result) {
+	for _, r := range results {
+		if r == nil || r.Wear == nil {
+			continue
+		}
+		obs.RemoveSeries(r.Wear.Name())
+		obs.RegisterWearPNG(r.Wear.Name(), nil)
+	}
+}
+
+// finish moves a job to its terminal state and retires it from the
+// coalescing and history maps.
+func (s *Server) finish(j *job, result *JobResult, err error, state string) {
+	j.mu.Lock()
+	switch {
+	case state != "":
+		j.state = state
+	case err != nil:
+		j.state = "failed"
+	default:
+		j.state = "done"
+	}
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.result = result
+	j.finished = time.Now()
+	terminal := j.state
+	j.mu.Unlock()
+	close(j.done)
+
+	switch terminal {
+	case "done":
+		obsJobsCompleted.Add(1)
+	case "failed":
+		obsJobsFailed.Add(1)
+	}
+
+	s.mu.Lock()
+	if s.inflight[j.fp] == j {
+		delete(s.inflight, j.fp)
+	}
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.History {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// JobResult is a completed job's outcome: one row per strategy plus the
+// cache disposition.
+type JobResult struct {
+	// Benchmark echoes the compiled kernel name; CacheHit reports
+	// whether the job reused a cached WearPlan (results are
+	// bit-identical either way).
+	Benchmark string `json:"benchmark"`
+	CacheHit  bool   `json:"cache_hit"`
+	// Strategies holds one row per simulated strategy, in sweep order.
+	Strategies []StrategyResult `json:"strategies"`
+}
+
+// StrategyResult is one strategy's endurance outcome, flattened for
+// JSON clients.
+type StrategyResult struct {
+	// Strategy is the paper label ("RaxBs+Hw").
+	Strategy string `json:"strategy"`
+	// MaxWritesPerIteration, Utilization and Imbalance mirror
+	// pim.Result.
+	MaxWritesPerIteration float64 `json:"max_writes_per_iteration"`
+	Utilization           float64 `json:"utilization"`
+	Imbalance             float64 `json:"imbalance"`
+	// IterationsToFailure and LifetimeSeconds are the Eq. 4 estimate.
+	IterationsToFailure float64 `json:"iterations_to_failure"`
+	LifetimeSeconds     float64 `json:"lifetime_seconds"`
+	// MaxWrites and TotalWrites summarize the write distribution;
+	// DistFNV is an FNV-64a checksum over its per-cell counts, the
+	// bit-identity witness for cached-vs-cold comparisons.
+	MaxWrites   uint64 `json:"max_writes"`
+	TotalWrites uint64 `json:"total_writes"`
+	DistFNV     string `json:"dist_fnv"`
+	// Improvement is the lifetime factor over the St×St baseline
+	// (present only when the job includes that baseline).
+	Improvement float64 `json:"improvement,omitempty"`
+	// Wear carries the per-epoch telemetry snapshot when the request
+	// set sample_every.
+	Wear *WearSnapshot `json:"wear,omitempty"`
+}
+
+// WearSnapshot is a job-lifetime copy of a wear series: the live
+// obs.Series is unregistered when the job completes, so the samples
+// move into the result.
+type WearSnapshot struct {
+	// Columns and Samples mirror obs.Series.
+	Columns []string    `json:"columns"`
+	Samples [][]float64 `json:"samples"`
+}
+
+func distFNV(counts []uint64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range counts {
+		for i := range buf {
+			buf[i] = byte(c >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func buildResult(j *job, results []*pim.Result, hit bool) *JobResult {
+	out := &JobResult{CacheHit: hit}
+	improvements := map[string]float64{}
+	if imps, err := pim.Improvements(results); err == nil {
+		for _, imp := range imps {
+			improvements[imp.Strategy.Name()] = imp.Factor
+		}
+	}
+	for _, r := range results {
+		out.Benchmark = r.Benchmark
+		row := StrategyResult{
+			Strategy:              r.Strategy.Name(),
+			MaxWritesPerIteration: r.MaxWritesPerIteration,
+			Utilization:           r.Utilization,
+			Imbalance:             r.Imbalance,
+			IterationsToFailure:   r.Lifetime.IterationsToFailure,
+			LifetimeSeconds:       r.Lifetime.Seconds,
+			MaxWrites:             r.Dist.Max(),
+			TotalWrites:           r.Dist.Total(),
+			DistFNV:               distFNV(r.Dist.Counts),
+			Improvement:           improvements[r.Strategy.Name()],
+		}
+		if r.Wear != nil {
+			row.Wear = &WearSnapshot{Columns: r.Wear.Columns(), Samples: r.Wear.Samples()}
+		}
+		out.Strategies = append(out.Strategies, row)
+	}
+	return out
+}
+
+// jobStatus is the GET /jobs/<id> body.
+type jobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Coalesced int    `json:"coalesced"`
+	// EnqueuedMS/StartedMS/FinishedMS are Unix milliseconds (0 when the
+	// job has not reached that point).
+	EnqueuedMS int64 `json:"enqueued_ms"`
+	StartedMS  int64 `json:"started_ms,omitempty"`
+	FinishedMS int64 `json:"finished_ms,omitempty"`
+	// Progress lists the job's live wear series while it runs.
+	Progress []progressEntry `json:"progress,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   *JobResult      `json:"result,omitempty"`
+}
+
+// progressEntry is one live wear series of a running job: its last
+// sample, so pollers see per-epoch movement without pulling /series.
+type progressEntry struct {
+	Series  string    `json:"series"`
+	Columns []string  `json:"columns"`
+	Epochs  int       `json:"epochs"`
+	Last    []float64 `json:"last,omitempty"`
+}
+
+func unixMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	j.mu.Lock()
+	st := jobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Coalesced:  j.coalesced,
+		EnqueuedMS: unixMS(j.enqueued),
+		StartedMS:  unixMS(j.started),
+		FinishedMS: unixMS(j.finished),
+		Error:      j.err,
+		Result:     j.result,
+	}
+	running := j.state == "running"
+	j.mu.Unlock()
+	if running {
+		prefix := "serve." + id + "."
+		for _, series := range obs.AllSeries() {
+			if !strings.HasPrefix(series.Name(), prefix) {
+				continue
+			}
+			st.Progress = append(st.Progress, progressEntry{
+				Series:  series.Name(),
+				Columns: series.Columns(),
+				Epochs:  series.Len(),
+				Last:    series.Last(),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	type row struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	s.mu.Lock()
+	rows := make([]row, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		rows = append(rows, row{ID: j.id, State: j.state})
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, k int) bool { return rows[i].ID < rows[k].ID })
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"jobs": rows})
+}

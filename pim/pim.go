@@ -211,6 +211,12 @@ type RunConfig struct {
 	// projections. Sampling switches the +Hw path to the epoch-ordered
 	// sampled engine; the final distribution stays bit-identical.
 	SampleEvery int
+	// SeriesPrefix scopes the wear-telemetry names a sampled run
+	// registers ("<prefix>wear.<benchmark>.<strategy>"): a serving layer
+	// sets a per-job prefix so concurrent requests' series and /wear.png
+	// sources are discoverable — and removable — as a group. Telemetry
+	// names have no effect on simulation results.
+	SeriesPrefix string
 }
 
 // Result is the outcome of one endurance run.
@@ -260,13 +266,15 @@ func runPlanned(plan *core.WearPlan, b *Benchmark, rc RunConfig, s Strategy, tec
 	}
 	var sampler *core.WearSampler
 	if rc.SampleEvery > 0 {
-		name := "wear." + b.Name + "." + s.Name()
+		name := rc.SeriesPrefix + "wear." + b.Name + "." + s.Name()
 		sampler = core.NewWearSampler(name, rc.SampleEvery, tech.Endurance)
 		sim.Sampler = sampler
 		// Per-series registration: concurrent sampled runs in a sweep each
 		// get their own /wear.png?name= source instead of racing over one
-		// global hook.
-		obs.RegisterWearPNG(name, sampler.WritePNG)
+		// global hook. The sampler's series may have been renamed with a
+		// uniquifying suffix on collision, so register under the name the
+		// registry actually assigned.
+		obs.RegisterWearPNG(sampler.Series().Name(), sampler.WritePNG)
 	}
 	dist, err := plan.Simulate(sim, s)
 	if err != nil {
@@ -311,10 +319,16 @@ func Sweep(b *Benchmark, opt Options, rc RunConfig, strategies []Strategy, tech 
 	sp := obs.StartSpan("pim.sweep")
 	defer sp.End()
 	obsSweeps.Add(1)
+	plan := core.NewWearPlan(b.Trace, opt.Rows, opt.PresetOutputs)
+	return sweepPlanned(plan, b, rc, strategies, tech)
+}
+
+// sweepPlanned is Sweep against a prebuilt (possibly cached) WearPlan —
+// the shared inner body of Sweep and PlanCache.Sweep.
+func sweepPlanned(plan *core.WearPlan, b *Benchmark, rc RunConfig, strategies []Strategy, tech Technology) ([]*Result, error) {
 	if strategies == nil {
 		strategies = AllStrategies()
 	}
-	plan := core.NewWearPlan(b.Trace, opt.Rows, opt.PresetOutputs)
 	results := make([]*Result, len(strategies))
 	errs := make([]error, len(strategies))
 	workers := pool.Size(rc.Workers, len(strategies))
