@@ -7,9 +7,9 @@ GO ?= go
 
 # Packages whose exported symbols must all carry doc comments (public
 # API + instrumented engine layers). Enforced by `make doclint`.
-DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool ./internal/serve
+DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool ./internal/serve ./internal/system ./internal/device
 
-.PHONY: all build vet test race race-obs race-core race-serve bench bench-json bench-current benchdiff report ci doclint
+.PHONY: all build vet test race race-obs race-core race-serve race-system bench bench-json bench-current benchdiff report ci doclint
 
 all: build
 
@@ -42,6 +42,12 @@ race-core:
 # storm test; race it explicitly so a serving-path data race is named.
 race-serve:
 	$(GO) test -race ./internal/serve/...
+
+# The bank scheduler runs per-bank simulations concurrently over one
+# shared WearPlan (and the pim facade layers a PlanCache on top); race
+# the system suite explicitly so a cross-bank data race is named.
+race-system:
+	$(GO) test -race ./internal/system/...
 
 # Doc-lint: fail on undocumented exported symbols (revive `exported`
 # rule stand-in, zero dependencies).
@@ -92,4 +98,4 @@ report:
 # BenchmarkSweep sweep benchmarks and BenchmarkServeSweep's cold/cached
 # serving-throughput pair included — against the committed baseline:
 # advisory locally, strict when BENCHDIFF_FLAGS=-strict.
-ci: vet doclint race-obs race-core race-serve race bench benchdiff
+ci: vet doclint race-obs race-core race-serve race-system race bench benchdiff

@@ -752,6 +752,41 @@ func BenchmarkGiniCoV(b *testing.B) {
 	b.ReportMetric(g, "gini")
 }
 
+// BenchmarkBankSweep stripes the multiplication across the 16-bank DDR4
+// organization under each scheduling policy, sharing one WearPlan via
+// the PlanCache. Each sub-benchmark reports the lifetime scaling over
+// the single-bank baseline (scaling_x) and the across-bank wear
+// imbalance the mean hides (bank_cov).
+func BenchmarkBankSweep(b *testing.B) {
+	bench := mustMult(b, benchOptions(), 32)
+	opt := benchOptions()
+	rc := pim.RunConfig{Iterations: 2000, RecompileEvery: 100, Seed: 1}
+	strat := pim.Strategy{Within: pim.Random, Between: pim.Static}
+	cache := pim.NewPlanCache(2)
+	single, _, err := cache.BankStripe(bench, opt, rc, strat, pim.MRAM(), pim.BankConfig{
+		Org: pim.SingleBank(), Policy: pim.RoundRobinBanks,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, policy := range pim.BankPolicies() {
+		b.Run(policy.String(), func(b *testing.B) {
+			var res *pim.StripeResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, _, err = cache.BankStripe(bench, opt, rc, strat, pim.MRAM(), pim.BankConfig{
+					Org: pim.DDR4Organization(), Policy: policy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.SystemIterationsToFailure/single.SystemIterationsToFailure, "scaling_x")
+			b.ReportMetric(res.BankCoV, "bank_cov")
+		})
+	}
+}
+
 // BenchmarkServeSweep measures the serving layer end to end over HTTP:
 // submit one sweep to internal/serve, poll the job to completion.
 // "cached" answers repeat requests from the WearPlan LRU (the first

@@ -1,0 +1,243 @@
+// The incremental, epoch-granular wear engine.
+//
+// Simulate needs the whole iteration count up front; a scheduler that
+// routes work by *live* wear (internal/system's wear-aware bank policy)
+// needs the opposite — accumulate one recompile epoch at a time and ask
+// "how hot is the hottest cell right now?" between epochs. Stepper is
+// that engine: a serial walk over a shared WearPlan that reuses the same
+// accumulation primitives as the batch engines, so a stepped run is
+// bit-identical to Simulate (and SimulateReference) over the same epoch
+// sequence.
+//
+//   - Software path: each Step is one permutation-pair accumulation
+//     (accumulateSwJob) with the rank-1 full-mask part kept as pending
+//     per-row weights until Finish — exactly the sampled software
+//     engine's discipline.
+//   - +Hw path: each Step replays one epoch in closed-cycle form
+//     (replayJobHist) and lands the histogram through the epoch's
+//     between-lane permutation. Consecutive epochs sharing a within-lane
+//     permutation (St always, Bs at its rotation period) reuse the last
+//     replayed histogram — a one-entry memo of the batch engine's
+//     grouping.
+//
+// MaxWrites is O(1): the stepper maintains a per-physical-row running
+// maximum as it accumulates. Cell counts only grow and the pending
+// full-mask weight adds uniformly across a row, so the row maximum is
+// (max CSR/hist cell in the row) + (pending row weight) — both tracked
+// incrementally, no distribution scan per query.
+package core
+
+import (
+	"fmt"
+
+	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
+)
+
+// Stepper accumulates a wear simulation one recompile epoch at a time
+// over a shared WearPlan, exposing the live hottest-cell count between
+// epochs. Create one with WearPlan.NewStepper, advance it with Step —
+// epoch e of the equivalent batch run is the (e+1)-th Step call — and
+// close it with Finish. A Stepper is serial and not safe for concurrent
+// use; run independent Steppers (one per bank) concurrently instead —
+// the plan itself is immutable and shared.
+type Stepper struct {
+	plan  *WearPlan
+	strat StrategyConfig
+	sched mapping.Schedule
+	dist  *WriteDist
+
+	epoch int // next epoch index
+	iters int // iterations accumulated so far
+
+	// Software path: pending between-invariant full-mask row weights,
+	// expanded into whole rows by Finish.
+	rowW []uint64
+
+	// +Hw path: per-worker-style scratch plus a one-entry histogram memo
+	// keyed by (within permutation of histEpoch, histN iterations).
+	arch      []int32
+	hw        *mapping.HwRenamer
+	cyc       *cycleScratch
+	hist      []uint64
+	histEpoch int
+	histN     int
+
+	// Live maximum tracking: rowMax is the hottest materialized cell per
+	// physical row (CSR adds and +Hw histogram landings; excludes the
+	// pending rowW, which Step folds in when it updates curMax).
+	rowMax []uint64
+	curMax uint64
+}
+
+// NewStepper prepares an incremental simulation of one load-balancing
+// configuration against the plan. Only cfg's Rows, PresetOutputs, Seed
+// and ShiftStep are consulted: the iteration count is whatever the Step
+// calls add up to, and Workers/Sampler/Iterations are ignored (the
+// stepper is serial; sample by reading MaxWrites between steps).
+func (p *WearPlan) NewStepper(cfg SimConfig, strat StrategyConfig) (*Stepper, error) {
+	probe := cfg
+	probe.Iterations = 1 // Validate demands a positive count; steps supply the real one
+	if err := probe.Validate(p.trace, strat.Hw); err != nil {
+		return nil, err
+	}
+	if err := p.check(p.trace, probe); err != nil {
+		return nil, err
+	}
+	tr := p.trace
+	arch := cfg.Rows
+	if strat.Hw {
+		arch--
+	}
+	s := &Stepper{
+		plan:  p,
+		strat: strat,
+		sched: mapping.Schedule{
+			Rows: arch, Lanes: tr.Lanes,
+			Within: strat.Within, Between: strat.Between,
+			Seed: cfg.Seed, ShiftStep: cfg.ShiftStep,
+		},
+		dist:      NewWriteDist(cfg.Rows, tr.Lanes),
+		rowMax:    make([]uint64, cfg.Rows),
+		histEpoch: -1,
+	}
+	s.dist.StepsPerIteration = p.stats.Steps
+	if strat.Hw {
+		s.arch = make([]int32, len(p.ops))
+		s.hw = mapping.NewHwRenamer(cfg.Rows)
+		s.cyc = newCycleScratch(cfg.Rows, len(p.ops))
+		s.hist = make([]uint64, len(p.maskLanes)*cfg.Rows)
+		obsHwCycleLen.Add(int64(p.cycle.Period))
+	} else {
+		s.rowW = make([]uint64, cfg.Rows)
+	}
+	return s, nil
+}
+
+// Epoch returns the next epoch index — the number of Step calls so far.
+func (s *Stepper) Epoch() int { return s.epoch }
+
+// Iterations returns the iterations accumulated so far.
+func (s *Stepper) Iterations() int { return s.iters }
+
+// MaxWrites returns the hottest cell's accumulated write count — Eq. 4's
+// max(WriteCount) over the iterations stepped so far. O(1): the maximum
+// is maintained during accumulation.
+func (s *Stepper) MaxWrites() uint64 { return s.curMax }
+
+// Step accumulates the next recompile epoch with the given iteration
+// count (an equivalent batch run's epoch lengths: RecompileEvery per
+// epoch, short final epoch allowed). Calls with iters ≤ 0 are no-ops
+// that do not advance the epoch index.
+func (s *Stepper) Step(iters int) {
+	if iters <= 0 {
+		return
+	}
+	if s.strat.Hw {
+		s.stepHw(iters)
+	} else {
+		s.stepSoftware(iters)
+	}
+	obsEpochs.Add(1)
+	s.epoch++
+	s.iters += iters
+}
+
+// stepSoftware lands one epoch through the shared software accumulation
+// primitive, then refreshes the per-row maxima the epoch touched.
+func (s *Stepper) stepSoftware(iters int) {
+	p := s.plan
+	job := swJob{epoch0: s.epoch, iters: uint64(iters), epochs: 1}
+	accumulateSwJob(p, s.sched, job, s.rowW, nil, s.dist.Counts)
+	obsSwGroups.Add(1)
+
+	lanes := p.trace.Lanes
+	within := s.sched.EpochWithin(s.epoch)
+	// CSR rows gained materialized cell writes: rescan each touched row.
+	for _, r := range p.csrRows {
+		pr := within.Apply(int(r))
+		row := s.dist.Counts[pr*lanes : pr*lanes+lanes]
+		var m uint64
+		for _, c := range row {
+			if c > m {
+				m = c
+			}
+		}
+		s.rowMax[pr] = m
+		if cand := m + s.rowW[pr]; cand > s.curMax {
+			s.curMax = cand
+		}
+	}
+	// Full-mask rows only grew their pending uniform weight.
+	for _, r := range p.fullRowIdx {
+		pr := within.Apply(int(r))
+		if cand := s.rowMax[pr] + s.rowW[pr]; cand > s.curMax {
+			s.curMax = cand
+		}
+	}
+}
+
+// stepHw replays (or reuses) the epoch's closed-cycle histogram and
+// lands it through the epoch's between-lane permutation, tracking row
+// maxima cell by cell.
+func (s *Stepper) stepHw(iters int) {
+	p := s.plan
+	within := s.sched.EpochWithin(s.epoch)
+	if s.histEpoch >= 0 && s.histN == iters && s.sched.EpochWithin(s.histEpoch).Equal(within) {
+		// One-entry memo hit: same within permutation and length means the
+		// identical histogram (the renamer resets every epoch).
+		obsHwMemoHits.Add(1)
+		obsHwReplayItersSaved.Add(int64(iters))
+	} else {
+		job := hwJob{epoch0: s.epoch, fp: within.Fingerprint(), n: iters, epochs: []int{s.epoch}}
+		replayJobHist(p.ops, s.sched, job, p.cycle.Period, s.dist.Rows, s.arch, s.hw, s.cyc, s.hist)
+		obsHwReplays.Add(1)
+		s.histEpoch, s.histN = s.epoch, iters
+	}
+
+	rows, lanes := s.dist.Rows, s.dist.Lanes
+	between := s.sched.EpochBetween(s.epoch)
+	counts := s.dist.Counts
+	for m := range p.maskLanes {
+		lanesOf := p.maskLanes[m]
+		for r := 0; r < rows; r++ {
+			c := s.hist[m*rows+r]
+			if c == 0 {
+				continue
+			}
+			dst := counts[r*lanes:]
+			rm := s.rowMax[r]
+			for _, l := range lanesOf {
+				bl := between.Apply(l)
+				v := dst[bl] + c
+				dst[bl] = v
+				if v > rm {
+					rm = v
+				}
+			}
+			s.rowMax[r] = rm
+			if rm > s.curMax {
+				s.curMax = rm
+			}
+		}
+	}
+}
+
+// Finish completes the accumulation (expanding the pending full-mask row
+// weights, on the software path) and returns the distribution — cell-
+// for-cell identical to Simulate over the same epoch sequence. The
+// stepper must not be stepped again after Finish.
+func (s *Stepper) Finish() (*WriteDist, error) {
+	if s.iters <= 0 {
+		return nil, fmt.Errorf("core: stepper finished with no iterations stepped")
+	}
+	if s.rowW != nil {
+		expandRowWeights(s.rowW, s.dist.Lanes, s.dist.Counts)
+		s.rowW = nil
+	}
+	s.dist.Iterations = s.iters
+	if obs.Enabled() {
+		obsWrites.Add(int64(s.dist.Total()))
+	}
+	return s.dist, nil
+}

@@ -1,0 +1,64 @@
+package device
+
+import "testing"
+
+func TestOrganizationPresets(t *testing.T) {
+	if n := DDR4Organization().TotalBanks(); n != 16 {
+		t.Errorf("DDR4 has %d banks, want 16", n)
+	}
+	if n := HBM3Organization().TotalBanks(); n != 256 {
+		t.Errorf("HBM3 has %d banks, want 256", n)
+	}
+	if n := SingleBank().TotalBanks(); n != 1 {
+		t.Errorf("single-bank organization has %d banks", n)
+	}
+	if n := FlatOrganization(7).TotalBanks(); n != 7 {
+		t.Errorf("flat(7) has %d banks", n)
+	}
+	for _, o := range Organizations() {
+		if err := o.Validate(); err != nil {
+			t.Errorf("%s: %v", o.Name, err)
+		}
+		if o.String() == "" || o.Notes == "" {
+			t.Errorf("%s missing documentation", o.Name)
+		}
+	}
+}
+
+func TestOrganizationValidate(t *testing.T) {
+	bad := []Organization{
+		{Name: "no-channels", Channels: 0, BankGroups: 4, Banks: 4},
+		{Name: "no-groups", Channels: 1, BankGroups: 0, Banks: 4},
+		{Name: "no-banks", Channels: 1, BankGroups: 4, Banks: 0},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s validated", o.Name)
+		}
+	}
+}
+
+// BankID and Position must be inverse bijections over the group-major
+// flat id space.
+func TestBankIDPositionRoundTrip(t *testing.T) {
+	o := HBM3Organization()
+	next := 0
+	for ch := 0; ch < o.Channels; ch++ {
+		for g := 0; g < o.BankGroups; g++ {
+			for b := 0; b < o.Banks; b++ {
+				id := o.BankID(ch, g, b)
+				if id != next {
+					t.Fatalf("BankID(%d,%d,%d) = %d, want group-major %d", ch, g, b, id, next)
+				}
+				gotCh, gotG, gotB := o.Position(id)
+				if gotCh != ch || gotG != g || gotB != b {
+					t.Fatalf("Position(%d) = (%d,%d,%d), want (%d,%d,%d)", id, gotCh, gotG, gotB, ch, g, b)
+				}
+				next++
+			}
+		}
+	}
+	if next != o.TotalBanks() {
+		t.Fatalf("enumerated %d banks, TotalBanks says %d", next, o.TotalBanks())
+	}
+}

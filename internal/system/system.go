@@ -89,9 +89,7 @@ func ChipLifetime(arrayMedianSeconds float64, cfg Config, trials int, seed int64
 	samples := make([]float64, trials)
 	lives := make([]float64, cfg.Arrays)
 	for t := range samples {
-		for i := range lives {
-			lives[i] = math.Exp(mu + cfg.Sigma*rng.NormFloat64())
-		}
+		fillLognormal(lives, mu, cfg.Sigma, rng)
 		sort.Float64s(lives)
 		samples[t] = lives[kth] / cfg.DutyCycle
 	}
@@ -114,6 +112,17 @@ func ChipLifetime(arrayMedianSeconds float64, cfg Config, trials int, seed int64
 		P95:             q(0.95),
 		ArraysTolerated: tolerated,
 	}, nil
+}
+
+// fillLognormal fills dst with lognormal draws exp(mu + sigma·N(0,1))
+// from the given source — the one variation model shared by the
+// chip-level Monte Carlo (ChipLifetime) and the per-bank endurance draw
+// (BankEndurances). Every caller threads an explicit seed so the draws
+// are reproducible and land in run manifests.
+func fillLognormal(dst []float64, mu, sigma float64, rng *rand.Rand) {
+	for i := range dst {
+		dst[i] = math.Exp(mu + sigma*rng.NormFloat64())
+	}
 }
 
 // Throughput models aggregate kernel throughput: arrays × lanes-parallel

@@ -1,0 +1,103 @@
+package pim_test
+
+import (
+	"testing"
+
+	"pimendure/pim"
+)
+
+// BankStripe must split exactly rc.Iterations across the organization,
+// fill the endurance from the technology, and project a finite system
+// lifetime.
+func TestBankStripeSmoke(t *testing.T) {
+	opt := testOptions()
+	b, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pim.BankStripe(b, opt, testRun(), pim.StaticStrategy, pim.MRAM(), pim.BankConfig{
+		Org: pim.FlatOrganization(4), Policy: pim.RoundRobinBanks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, br := range res.Banks {
+		total += br.Iterations
+		if br.Iterations > 0 && br.Endurance != pim.MRAM().Endurance {
+			t.Errorf("bank %d endurance %g, want the technology's %g", br.Bank, br.Endurance, pim.MRAM().Endurance)
+		}
+	}
+	if total != testRun().Iterations {
+		t.Errorf("banks absorbed %d iterations, want %d", total, testRun().Iterations)
+	}
+	if res.BanksTouched != 4 {
+		t.Errorf("touched %d banks, want 4", res.BanksTouched)
+	}
+	single, err := pim.BankStripe(b, opt, testRun(), pim.StaticStrategy, pim.MRAM(), pim.BankConfig{
+		Org: pim.SingleBank(), Policy: pim.RoundRobinBanks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.SystemIterationsToFailure > single.SystemIterationsToFailure) {
+		t.Errorf("4-bank stripe projects %g iterations, single bank %g — striping should extend lifetime",
+			res.SystemIterationsToFailure, single.SystemIterationsToFailure)
+	}
+}
+
+// SampleEvery must attach a per-bank wear trajectory to every touched
+// bank.
+func TestBankStripeWearSeries(t *testing.T) {
+	opt := testOptions()
+	b, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := testRun()
+	rc.SampleEvery = 2
+	rc.SeriesPrefix = "t1."
+	res, err := pim.BankStripe(b, opt, rc, pim.StaticStrategy, pim.MRAM(), pim.BankConfig{
+		Org: pim.FlatOrganization(2), Policy: pim.RoundRobinBanks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range res.Banks {
+		if br.Iterations == 0 {
+			continue
+		}
+		if br.Wear == nil || br.Wear.Len() == 0 {
+			t.Errorf("bank %d has no wear trajectory", br.Bank)
+		}
+	}
+}
+
+// The PlanCache-backed variant must share one plan across policy
+// comparisons.
+func TestPlanCacheBankStripe(t *testing.T) {
+	opt := testOptions()
+	b, err := pim.NewParallelMult(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := pim.NewPlanCache(2)
+	var results []*pim.StripeResult
+	for i, p := range pim.BankPolicies() {
+		res, hit, err := cache.BankStripe(b, opt, testRun(), pim.StaticStrategy, pim.MRAM(), pim.BankConfig{
+			Org: pim.DDR4Organization(), Policy: p,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if hit != (i > 0) {
+			t.Errorf("%s: cache hit = %v on call %d", p, hit, i)
+		}
+		results = append(results, res)
+	}
+	// Identical fresh banks: wear-aware must agree with round-robin.
+	if results[0].SystemIterationsToFailure != results[1].SystemIterationsToFailure {
+		t.Errorf("wear-aware on fresh identical banks projects %g, round-robin %g",
+			results[1].SystemIterationsToFailure, results[0].SystemIterationsToFailure)
+	}
+}
