@@ -9,7 +9,7 @@ GO ?= go
 # API + instrumented engine layers). Enforced by `make doclint`.
 DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool ./internal/serve ./internal/system ./internal/device
 
-.PHONY: all build vet test race race-obs race-core race-serve race-system bench bench-json bench-current benchdiff report ci doclint
+.PHONY: all build vet test race race-obs race-core race-serve race-system bench bench-alloc bench-json bench-current benchdiff report ci doclint
 
 all: build
 
@@ -62,6 +62,19 @@ doclint:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
+# Allocation smoke: run the steady-state hot-path benchmarks (the shared-
+# plan sweeps, the serving path and the packed array) once with -benchmem
+# and print one line per benchmark — B/op and allocs/op at a glance. The
+# arena discipline (internal/core/arena.go) is what keeps these flat;
+# `make ci` runs this as a 1x smoke so an allocation leak in the hot path
+# is visible even before the benchdiff gate compares snapshots.
+bench-alloc:
+	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkServeSweep|BenchmarkArrayIteration|BenchmarkHwEngine' \
+		-benchmem -benchtime=1x . \
+		| awk '/^Benchmark/ { name=$$1; bop="-"; aop="-"; \
+			for (i=2; i<NF; i++) { if ($$(i+1)=="B/op") bop=$$i; if ($$(i+1)=="allocs/op") aop=$$i } \
+			printf "%-60s %14s B/op %10s allocs/op\n", name, bop, aop }'
+
 # Machine-readable benchmark snapshot: run the engine benchmark suite
 # (the root package's per-figure benchmarks) and convert the output to
 # BENCH_engine.json via internal/tools/benchjson. Committed so perf
@@ -94,8 +107,10 @@ report:
 
 # `bench` doubles as the CI benchmark smoke: -benchtime=1x executes every
 # benchmark body once, catching bit-rot in the measurement harness.
-# `benchdiff` then diffs that fresh snapshot — BenchmarkHwEngine, the
+# `bench-alloc` prints the hot-path B/op / allocs/op one-liners, and
+# `benchdiff` then diffs a fresh snapshot — BenchmarkHwEngine, the
 # BenchmarkSweep sweep benchmarks and BenchmarkServeSweep's cold/cached
-# serving-throughput pair included — against the committed baseline:
-# advisory locally, strict when BENCHDIFF_FLAGS=-strict.
-ci: vet doclint race-obs race-core race-serve race-system race bench benchdiff
+# serving-throughput pair included, timing and allocs/op both — against
+# the committed baseline: advisory locally, strict when
+# BENCHDIFF_FLAGS=-strict.
+ci: vet doclint race-obs race-core race-serve race-system race bench bench-alloc benchdiff

@@ -620,9 +620,14 @@ func BenchmarkSweep(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			plan := core.NewWearPlan(bench.Trace, paperSim.Rows, paperSim.PresetOutputs)
 			for _, s := range swConfigs {
-				if _, err := plan.Simulate(paperSim, s); err != nil {
+				dist, err := plan.Simulate(paperSim, s)
+				if err != nil {
 					b.Fatal(err)
 				}
+				// Steady-state discipline: the distribution goes back to
+				// the plan's arena, so strategies after the first reuse its
+				// counts buffer instead of allocating 8 MB each.
+				dist.Release()
 			}
 		}
 	})
@@ -641,9 +646,11 @@ func BenchmarkSweep(b *testing.B) {
 			t0 = time.Now()
 			plan := core.NewWearPlan(bench.Trace, paperSim.Rows, paperSim.PresetOutputs)
 			for _, s := range swConfigs {
-				if _, err := plan.Simulate(paperSim, s); err != nil {
+				dist, err := plan.Simulate(paperSim, s)
+				if err != nil {
 					b.Fatal(err)
 				}
+				dist.Release()
 			}
 			eng += time.Since(t0)
 		}

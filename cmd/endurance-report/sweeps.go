@@ -74,6 +74,7 @@ func runSweeps(cfg config) error {
 			fmt.Sprintf("%s — %s write distribution statistics (%d iterations, recompile every %d)",
 				fig, b.Name, cfg.iters, cfg.recompile),
 			"config", "max/iter", "max/mean", "CoV", "Gini")
+		var giniWork []float64
 		for _, r := range results {
 			grid, err := pim.Heatmap(r.Dist, cfg.heatDim)
 			if err != nil {
@@ -90,11 +91,15 @@ func runSweeps(cfg config) error {
 			}); err != nil {
 				return err
 			}
+			// Summarize fuses the CoV scan; GiniReuse sorts all 18 configs'
+			// distributions in one reused scratch buffer.
+			var gini float64
+			gini, giniWork = stats.GiniReuse(r.Dist.Counts, giniWork)
 			summary.AddRow(r.Strategy.Name(),
 				report.Fixed(r.MaxWritesPerIteration, 2),
 				report.Fixed(r.Imbalance, 3),
-				report.Fixed(stats.CoV(r.Dist.Counts), 3),
-				report.Fixed(stats.Gini(r.Dist.Counts), 3))
+				report.Fixed(stats.Summarize(r.Dist.Counts).CoV, 3),
+				report.Fixed(gini, 3))
 		}
 		if err := emitTable(cfg, fig+"_summary", summary); err != nil {
 			return err

@@ -259,9 +259,14 @@ func cmdWear(args []string) error {
 	if err != nil {
 		return err
 	}
+	sum := stats.Summarize(dist.Counts)
+	maxPerIter := 0.0
+	if dist.Iterations > 0 {
+		maxPerIter = float64(sum.Max) / float64(dist.Iterations)
+	}
 	fmt.Printf("strategy:        %s\n", strat.Name())
-	fmt.Printf("max writes/iter: %.3f\n", dist.MaxPerIteration())
-	fmt.Printf("max/mean:        %.3f\n", stats.MaxOverMean(dist.Counts))
+	fmt.Printf("max writes/iter: %.3f\n", maxPerIter)
+	fmt.Printf("max/mean:        %.3f\n", sum.MaxOverMean())
 	fmt.Printf("Gini:            %.3f\n", stats.Gini(dist.Counts))
 	return finishObs(run, "wear", nil)
 }

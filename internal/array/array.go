@@ -191,6 +191,28 @@ func (a *Array) ReadCounts() []uint64 {
 	return out
 }
 
+// WriteCountsInto copies the full write-count matrix into dst, which must
+// hold BitsPerLane×Lanes elements. It is WriteCounts for callers that own
+// a reusable buffer (the wear engine's brute-force reference lands counts
+// straight into an arena-drawn distribution), avoiding the intermediate
+// copy WriteCounts allocates.
+func (a *Array) WriteCountsInto(dst []uint64) {
+	if len(dst) != len(a.writes) {
+		panic(fmt.Sprintf("array: count buffer holds %d cells, want %d", len(dst), len(a.writes)))
+	}
+	a.Flush()
+	copy(dst, a.writes)
+}
+
+// ReadCountsInto is WriteCountsInto for the read-count matrix.
+func (a *Array) ReadCountsInto(dst []uint64) {
+	if len(dst) != len(a.reads) {
+		panic(fmt.Sprintf("array: count buffer holds %d cells, want %d", len(dst), len(a.reads)))
+	}
+	a.Flush()
+	copy(dst, a.reads)
+}
+
 // TotalWrites sums write counts over all cells.
 func (a *Array) TotalWrites() uint64 {
 	a.Flush()

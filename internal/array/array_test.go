@@ -349,3 +349,82 @@ func TestPresetAccountingAgreement(t *testing.T) {
 		t.Errorf("preset total writes %d, want %d", got, want)
 	}
 }
+
+// The word-block-parallel gate path — a worker budget (SetWorkers) on an
+// array at least packedParallelMinWords lane words wide — must be
+// bit-identical to inline packed execution and to the scalar reference:
+// same computed values and the same per-cell write/read counters, across
+// remaps, with and without hardware renaming. Lanes deliberately not a
+// multiple of 64 so the last lane word is partial.
+func TestWordParallelBatchIdentity(t *testing.T) {
+	const lanes, rows = 64*257 + 17, 96
+	rng := rand.New(rand.NewSource(7))
+	words := make([][2]uint64, lanes)
+	for l := range words {
+		words[l] = [2]uint64{rng.Uint64() & 15, rng.Uint64() & 15}
+	}
+	tr, slot := buildMult(lanes, rows-1)
+
+	type outcome struct {
+		vals   []uint64
+		writes []uint64
+		reads  []uint64
+	}
+	run := func(scalar bool, workers int, useHw bool) outcome {
+		prng := rand.New(rand.NewSource(99))
+		archRows := rows
+		var hw *mapping.HwRenamer
+		if useHw {
+			hw = mapping.NewHwRenamer(rows)
+			archRows = rows - 1
+		}
+		a := array.New(array.Config{BitsPerLane: rows, Lanes: lanes})
+		m := array.Mapper{Within: mapping.RandomPerm(archRows, prng), Between: mapping.RandomPerm(lanes, prng), Hw: hw}
+		newRunner := array.NewRunner
+		if scalar {
+			newRunner = array.NewScalarRunner
+		}
+		r, err := newRunner(a, tr, m, multData(words))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetWorkers(workers)
+		var o outcome
+		for iter := 0; iter < 3; iter++ {
+			r.RunIteration()
+			if err := r.Remap(mapping.RandomPerm(archRows, prng), mapping.RandomPerm(lanes, prng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o.vals = make([]uint64, lanes)
+		for l := 0; l < lanes; l++ {
+			o.vals[l] = r.OutWord(slot, 8, l)
+		}
+		o.writes = a.WriteCounts()
+		o.reads = a.ReadCounts()
+		return o
+	}
+
+	for _, useHw := range []bool{false, true} {
+		ref := run(true, 1, useHw)
+		for l, v := range ref.vals {
+			if want := words[l][0] * words[l][1]; v != want {
+				t.Fatalf("hw=%v scalar lane %d: got %d, want %d", useHw, l, v, want)
+			}
+		}
+		for _, workers := range []int{1, 3, 8} {
+			got := run(false, workers, useHw)
+			for l := range ref.vals {
+				if got.vals[l] != ref.vals[l] {
+					t.Fatalf("hw=%v workers=%d lane %d: value %d, scalar %d", useHw, workers, l, got.vals[l], ref.vals[l])
+				}
+			}
+			for i := range ref.writes {
+				if got.writes[i] != ref.writes[i] || got.reads[i] != ref.reads[i] {
+					t.Fatalf("hw=%v workers=%d cell %d: writes/reads (%d,%d), scalar (%d,%d)",
+						useHw, workers, i, got.writes[i], got.reads[i], ref.writes[i], ref.reads[i])
+				}
+			}
+		}
+	}
+}

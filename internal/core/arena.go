@@ -1,0 +1,249 @@
+// The per-plan buffer arena: reusable engine scratch pooled on the
+// WearPlan so steady-state traffic against a cached plan is
+// near-allocation-free.
+//
+// Every simulation against a plan needs the same working set — a
+// rows×lanes accumulation buffer per worker, per-row weight and
+// per-(mask, row) histogram scratch, renamer/cycle replay state, and a
+// permutation-generation kit (two scratch permutation pairs plus a
+// reusable rng) — and all of it is sized by plan constants alone
+// (rows, lanes, mask count, op count). The arena keeps free lists of
+// exactly those shapes, guarded by one mutex: a Simulate/Sweep/serve
+// call on a warm plan pops buffers instead of allocating them, and
+// pushes them back when it returns. WriteDist results participate too:
+// a distribution built by WearPlan.Simulate carries a release hook, so
+// callers that are done with the counts (benchmark loops, the serving
+// layer after summarizing a job) can hand the 8 MB buffer back with
+// WriteDist.Release instead of leaving it to the garbage collector.
+//
+// Ownership discipline (see ARCHITECTURE.md "Memory discipline"):
+// buffers are owned exclusively between get and put; the arena never
+// hands the same buffer to two holders. Counts buffers are returned
+// zeroed from the arena; histogram and permutation scratch is returned
+// dirty and re-initialized by its consumer (replayJobHist zeroes the
+// histogram, the permutation fillers overwrite every slot). The
+// core.arena_hits / core.arena_misses counters record how often an
+// acquisition was served from a free list versus a fresh allocation.
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"pimendure/internal/mapping"
+	"pimendure/internal/obs"
+)
+
+// Arena accounting (no-ops until obs.Enable): how many scratch/buffer
+// acquisitions were served from a plan's free lists versus freshly
+// allocated. On a warm plan hits dominate and misses stay at the
+// high-water concurrency mark.
+var (
+	// obsArenaHits counts arena acquisitions served from a free list.
+	obsArenaHits = obs.GetCounter("core.arena_hits")
+	// obsArenaMisses counts arena acquisitions that had to allocate.
+	obsArenaMisses = obs.GetCounter("core.arena_misses")
+)
+
+// arena is the per-WearPlan pool of engine scratch. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type arena struct {
+	mu      sync.Mutex
+	scratch []*engineScratch
+	counts  [][]uint64 // rows*lanes accumulation buffers, stored zeroed
+	hists   [][]uint64 // nMasks*rows histogram buffers, stored dirty
+}
+
+// permGen regenerates a schedule's epoch permutations into reusable
+// scratch: a primary (within, between) pair for the permutations a
+// caller is actively using, a secondary pair for equality checks against
+// other epochs (memo-collision resolution), and one re-seedable rng.
+// A permGen is single-goroutine state; each worker owns its own.
+type permGen struct {
+	sched            mapping.Schedule
+	rng              *rand.Rand
+	within, between  *mapping.Perm
+	within2          *mapping.Perm
+	between2         *mapping.Perm
+}
+
+// reset binds the generator to a schedule. Scratch carries over; only
+// the permutation definitions change.
+func (g *permGen) reset(sched mapping.Schedule) {
+	g.sched = sched
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(1))
+	}
+}
+
+// withinAt fills the primary within-lane scratch with epoch's
+// permutation and returns it. The result is invalidated by the next
+// withinAt call.
+func (g *permGen) withinAt(epoch int) *mapping.Perm {
+	g.within = g.sched.EpochWithinInto(epoch, g.within, g.rng)
+	return g.within
+}
+
+// betweenAt is withinAt for the between-lane permutation.
+func (g *permGen) betweenAt(epoch int) *mapping.Perm {
+	g.between = g.sched.EpochBetweenInto(epoch, g.between, g.rng)
+	return g.between
+}
+
+// within2At fills the secondary within-lane scratch — safe to compare
+// against a live withinAt result.
+func (g *permGen) within2At(epoch int) *mapping.Perm {
+	g.within2 = g.sched.EpochWithinInto(epoch, g.within2, g.rng)
+	return g.within2
+}
+
+// between2At is within2At for the between-lane permutation.
+func (g *permGen) between2At(epoch int) *mapping.Perm {
+	g.between2 = g.sched.EpochBetweenInto(epoch, g.between2, g.rng)
+	return g.between2
+}
+
+// engineScratch bundles one worker's reusable simulation state. Fields
+// are created lazily by the ensure* helpers, sized by plan constants, so
+// a software-only workload never pays for replay scratch and vice versa.
+type engineScratch struct {
+	gen     permGen
+	rowW    []uint64 // per-physical-row weights (software rank-1 part)
+	rowMax  []uint64 // per-physical-row maxima (stepper live tracking)
+	touched []int32  // rows whose rowW became nonzero (sampled sw engine)
+	hist    []uint64 // [mask*rows+physRow] replay histogram
+	arch    []int32  // per-op within-mapped row
+	hw      *mapping.HwRenamer
+	cyc     *cycleScratch
+	bg      betweenScratch
+}
+
+// getScratch pops (or allocates) a worker scratch bundle.
+func (p *WearPlan) getScratch() *engineScratch {
+	p.arena.mu.Lock()
+	if n := len(p.arena.scratch); n > 0 {
+		s := p.arena.scratch[n-1]
+		p.arena.scratch = p.arena.scratch[:n-1]
+		p.arena.mu.Unlock()
+		obsArenaHits.Add(1)
+		return s
+	}
+	p.arena.mu.Unlock()
+	obsArenaMisses.Add(1)
+	return &engineScratch{}
+}
+
+// putScratch returns a worker scratch bundle to the plan's free list.
+// The bundle's buffers may be dirty; acquirers re-initialize what they
+// use (ensureRowW zeroes, replayJobHist zeroes the histogram, the
+// permutation fillers overwrite every slot).
+func (p *WearPlan) putScratch(s *engineScratch) {
+	p.arena.mu.Lock()
+	p.arena.scratch = append(p.arena.scratch, s)
+	p.arena.mu.Unlock()
+}
+
+// ensureRowW sizes and zeroes the scratch's per-row weight buffer.
+func (p *WearPlan) ensureRowW(s *engineScratch) {
+	if len(s.rowW) != p.rows {
+		s.rowW = make([]uint64, p.rows)
+		return
+	}
+	for i := range s.rowW {
+		s.rowW[i] = 0
+	}
+}
+
+// ensureRowMax sizes and zeroes the scratch's per-row maximum buffer.
+func (p *WearPlan) ensureRowMax(s *engineScratch) {
+	if len(s.rowMax) != p.rows {
+		s.rowMax = make([]uint64, p.rows)
+		return
+	}
+	for i := range s.rowMax {
+		s.rowMax[i] = 0
+	}
+}
+
+// ensureHw sizes the scratch's +Hw replay state (histogram, per-op rows,
+// renamer, cycle decomposition). The histogram is left dirty —
+// replayJobHist zeroes it at the start of every job.
+func (p *WearPlan) ensureHw(s *engineScratch) {
+	if len(s.hist) != len(p.maskLanes)*p.rows {
+		s.hist = make([]uint64, len(p.maskLanes)*p.rows)
+	}
+	if len(s.arch) != len(p.ops) {
+		s.arch = make([]int32, len(p.ops))
+	}
+	if s.hw == nil || s.hw.ArchRows() != p.rows-1 {
+		s.hw = mapping.NewHwRenamer(p.rows)
+	}
+	if s.cyc == nil || len(s.cyc.orbit) != p.rows || len(s.cyc.starts) != len(p.ops) {
+		s.cyc = newCycleScratch(p.rows, len(p.ops))
+	}
+}
+
+// getCounts pops (or allocates) a zeroed rows×lanes accumulation buffer.
+func (p *WearPlan) getCounts() []uint64 {
+	n := p.rows * p.trace.Lanes
+	p.arena.mu.Lock()
+	if k := len(p.arena.counts); k > 0 {
+		buf := p.arena.counts[k-1]
+		p.arena.counts = p.arena.counts[:k-1]
+		p.arena.mu.Unlock()
+		obsArenaHits.Add(1)
+		return buf
+	}
+	p.arena.mu.Unlock()
+	obsArenaMisses.Add(1)
+	return make([]uint64, n)
+}
+
+// putCounts zeroes a counts buffer and returns it to the free list.
+// Buffers of the wrong length (never handed out by this plan) are
+// dropped rather than poisoning the pool.
+func (p *WearPlan) putCounts(buf []uint64) {
+	if len(buf) != p.rows*p.trace.Lanes {
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	p.arena.mu.Lock()
+	p.arena.counts = append(p.arena.counts, buf)
+	p.arena.mu.Unlock()
+}
+
+// getHist pops (or allocates) a nMasks×rows histogram buffer. Contents
+// are unspecified; every consumer zeroes or overwrites before reading.
+func (p *WearPlan) getHist() []uint64 {
+	p.arena.mu.Lock()
+	if k := len(p.arena.hists); k > 0 {
+		buf := p.arena.hists[k-1]
+		p.arena.hists = p.arena.hists[:k-1]
+		p.arena.mu.Unlock()
+		obsArenaHits.Add(1)
+		return buf
+	}
+	p.arena.mu.Unlock()
+	obsArenaMisses.Add(1)
+	return make([]uint64, len(p.maskLanes)*p.rows)
+}
+
+// putHist returns a histogram buffer (dirty) to the free list.
+func (p *WearPlan) putHist(buf []uint64) {
+	if len(buf) != len(p.maskLanes)*p.rows {
+		return
+	}
+	p.arena.mu.Lock()
+	p.arena.hists = append(p.arena.hists, buf)
+	p.arena.mu.Unlock()
+}
+
+// newDist builds a WriteDist whose counts buffer is drawn from the
+// plan's arena and whose Release hook returns it there.
+func (p *WearPlan) newDist() *WriteDist {
+	d := &WriteDist{Rows: p.rows, Lanes: p.trace.Lanes, Counts: p.getCounts()}
+	d.release = p.putCounts
+	return d
+}

@@ -191,11 +191,30 @@ type WriteDist struct {
 	// StepsPerIteration is the benchmark's sequential latency (Eq. 4's
 	// Application Latency in device steps).
 	StepsPerIteration int
+
+	// release, when non-nil, returns Counts to the arena of the WearPlan
+	// that produced this distribution (see WriteDist.Release).
+	release func([]uint64)
 }
 
 // NewWriteDist allocates a zeroed distribution.
 func NewWriteDist(rows, lanes int) *WriteDist {
 	return &WriteDist{Rows: rows, Lanes: lanes, Counts: make([]uint64, rows*lanes)}
+}
+
+// Release hands the distribution's counts buffer back to the arena of
+// the WearPlan that produced it, making the buffer available to the next
+// simulation against that plan. After Release the distribution must not
+// be read again — Counts is nil. Calling Release on a distribution that
+// did not come from a plan (or twice) is a safe no-op; it is always
+// optional, as an unreleased buffer is simply collected by the GC.
+func (d *WriteDist) Release() {
+	if d == nil || d.release == nil || d.Counts == nil {
+		return
+	}
+	rel, buf := d.release, d.Counts
+	d.release, d.Counts = nil, nil
+	rel(buf)
 }
 
 // At returns the write count of cell (row, lane).
@@ -297,6 +316,10 @@ func bruteForce(tr *program.Trace, cfg SimConfig, strat StrategyConfig, data arr
 	if err != nil {
 		return nil, nil, err
 	}
+	// The word-parallel runner may shard fused gate batches into word
+	// blocks on arrays wide enough to amortize dispatch; the scalar
+	// reference ignores the budget.
+	runner.SetWorkers(cfg.Workers)
 
 	every := cfg.recompileEvery()
 	epoch := 0
@@ -313,7 +336,7 @@ func bruteForce(tr *program.Trace, cfg SimConfig, strat StrategyConfig, data arr
 	dist := NewWriteDist(cfg.Rows, tr.Lanes)
 	dist.Iterations = cfg.Iterations
 	dist.StepsPerIteration = tr.Steps(cfg.PresetOutputs)
-	copy(dist.Counts, arr.WriteCounts())
+	arr.WriteCountsInto(dist.Counts)
 	return dist, runner, nil
 }
 

@@ -77,43 +77,73 @@ func flattenOps(tr *program.Trace, preset bool) (ops []wop, maskLanes [][]int) {
 // hwJob is one unique (within-permutation, epoch length) replay unit and
 // the epochs that share its histogram.
 type hwJob struct {
-	epoch0 int    // representative epoch (regenerates the within perm)
-	fp     uint64 // within-permutation fingerprint
-	n      int    // iterations in each member epoch
-	epochs []int  // member epoch numbers (for their between perms)
+	epoch0  int    // representative epoch (regenerates the within perm)
+	fp      uint64 // within-permutation fingerprint
+	n       int    // iterations in each member epoch
+	epochs  []int  // member epoch numbers (for their between perms)
+	members int32  // member count (sizes the epochs subslice)
+	next    int32  // next job in the same fingerprint bucket (-1 ends)
 }
 
 // planHwEpochs walks the epoch sequence once and groups epochs whose
-// replays would be identical. Permutations are regenerated from the
-// schedule on demand, so the plan holds only integers.
-func planHwEpochs(cfg SimConfig, sched mapping.Schedule) []hwJob {
+// replays would be identical. Permutations are regenerated into gen's
+// scratch on demand, so the plan holds only integers; member epoch lists
+// are subslices of one flat backing array filled by a second bucketing
+// pass, and fingerprint collisions chain through hwJob.next — planning
+// allocates a handful of slices regardless of epoch count.
+func planHwEpochs(cfg SimConfig, gen *permGen) []hwJob {
 	type key struct {
 		fp uint64
 		n  int
 	}
-	var jobs []hwJob
-	index := map[key][]int{} // fingerprint bucket -> job ids (collision list)
 	every := cfg.recompileEvery()
-	for start, epoch := 0, 0; start < cfg.Iterations; start, epoch = start+every, epoch+1 {
+	totalEpochs := (cfg.Iterations + every - 1) / every
+	jobs := make([]hwJob, 0, totalEpochs)
+	index := make(map[key]int32, totalEpochs) // fingerprint bucket -> chain head
+	jobOf := make([]int32, totalEpochs)
+	for epoch := 0; epoch < totalEpochs; epoch++ {
 		n := every
-		if start+n > cfg.Iterations {
+		if start := epoch * every; start+n > cfg.Iterations {
 			n = cfg.Iterations - start
 		}
-		within := sched.EpochWithin(epoch)
+		within := gen.withinAt(epoch)
 		k := key{within.Fingerprint(), n}
-		jobID := -1
-		for _, cand := range index[k] {
-			if sched.EpochWithin(jobs[cand].epoch0).Equal(within) {
-				jobID = cand
+		var jobID int32
+		if head, ok := index[k]; ok {
+			for cand := head; ; {
+				if gen.within2At(jobs[cand].epoch0).Equal(within) {
+					jobID = cand
+					break
+				}
+				if next := jobs[cand].next; next >= 0 {
+					cand = next
+					continue
+				}
+				// True fingerprint collision: new job at the chain's end.
+				jobID = int32(len(jobs))
+				jobs = append(jobs, hwJob{epoch0: epoch, fp: k.fp, n: n, next: -1})
+				jobs[cand].next = jobID
 				break
 			}
+		} else {
+			jobID = int32(len(jobs))
+			jobs = append(jobs, hwJob{epoch0: epoch, fp: k.fp, n: n, next: -1})
+			index[k] = jobID
 		}
-		if jobID < 0 {
-			jobID = len(jobs)
-			jobs = append(jobs, hwJob{epoch0: epoch, fp: k.fp, n: n})
-			index[k] = append(index[k], jobID)
-		}
-		jobs[jobID].epochs = append(jobs[jobID].epochs, epoch)
+		jobs[jobID].members++
+		jobOf[epoch] = jobID
+	}
+	// Second pass: bucket member epochs into one flat backing array, each
+	// job owning a capacity-bounded subslice.
+	flat := make([]int, totalEpochs)
+	off := 0
+	for j := range jobs {
+		end := off + int(jobs[j].members)
+		jobs[j].epochs = flat[off:off:end]
+		off = end
+	}
+	for epoch, j := range jobOf {
+		jobs[j].epochs = append(jobs[j].epochs, epoch)
 	}
 	return jobs
 }
@@ -122,34 +152,59 @@ func planHwEpochs(cfg SimConfig, sched mapping.Schedule) []hwJob {
 type betweenGroup struct {
 	epoch0 int // representative epoch (regenerates the between perm)
 	count  int
+	next   int32 // next group in the same fingerprint bucket (-1 ends)
+}
+
+// betweenScratch is reusable per-worker state for groupByBetween: the
+// group list and the fingerprint index survive across jobs so steady-
+// state grouping is allocation-free.
+type betweenScratch struct {
+	groups []betweenGroup
+	index  map[uint64]int32 // fingerprint -> chain head
 }
 
 // groupByBetween collapses a job's member epochs by between-lane
 // permutation equality (fingerprint first, exact comparison on
-// collision), preserving first-seen order.
-func groupByBetween(sched mapping.Schedule, epochs []int) []betweenGroup {
+// collision), preserving first-seen order. The returned slice aliases
+// scr's storage and is valid until the next call with the same scratch.
+func groupByBetween(gen *permGen, epochs []int, scr *betweenScratch) []betweenGroup {
 	if len(epochs) == 1 {
-		return []betweenGroup{{epoch0: epochs[0], count: 1}}
+		scr.groups = append(scr.groups[:0], betweenGroup{epoch0: epochs[0], count: 1, next: -1})
+		return scr.groups
 	}
-	var groups []betweenGroup
-	index := map[uint64][]int{} // fingerprint -> group ids
+	if scr.index == nil {
+		scr.index = make(map[uint64]int32, len(epochs))
+	} else {
+		clear(scr.index)
+	}
+	groups := scr.groups[:0]
 	for _, epoch := range epochs {
-		between := sched.EpochBetween(epoch)
+		between := gen.betweenAt(epoch)
 		fp := between.Fingerprint()
-		id := -1
-		for _, cand := range index[fp] {
-			if sched.EpochBetween(groups[cand].epoch0).Equal(between) {
-				id = cand
+		var id int32
+		if head, ok := scr.index[fp]; ok {
+			for cand := head; ; {
+				if gen.between2At(groups[cand].epoch0).Equal(between) {
+					id = cand
+					break
+				}
+				if next := groups[cand].next; next >= 0 {
+					cand = next
+					continue
+				}
+				id = int32(len(groups))
+				groups = append(groups, betweenGroup{epoch0: epoch, next: -1})
+				groups[cand].next = id
 				break
 			}
-		}
-		if id < 0 {
-			id = len(groups)
-			groups = append(groups, betweenGroup{epoch0: epoch})
-			index[fp] = append(index[fp], id)
+		} else {
+			id = int32(len(groups))
+			groups = append(groups, betweenGroup{epoch0: epoch, next: -1})
+			scr.index[fp] = id
 		}
 		groups[id].count++
 	}
+	scr.groups = groups
 	return groups
 }
 
@@ -170,10 +225,11 @@ func simulateHw(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteD
 	// conjugate the state permutation), so one trace-level analysis serves
 	// every job of every strategy.
 	ops, maskLanes := p.ops, p.maskLanes
-	nMasks := len(maskLanes)
 	period := p.cycle.Period
+	planScr := p.getScratch()
+	planScr.gen.reset(sched)
 	plan := sp.Child("plan")
-	jobs := planHwEpochs(cfg, sched)
+	jobs := planHwEpochs(cfg, &planScr.gen)
 	plan.End()
 	// Memoization accounting: every epoch beyond a job's representative
 	// is a replay the grouping saved; the closed-cycle form additionally
@@ -188,36 +244,34 @@ func simulateHw(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteD
 	obsHwCycleLen.Add(int64(period))
 	workers := pool.Size(cfg.workers(), len(jobs))
 
-	// Per-worker state, reused across the jobs a worker drains. Worker 0
-	// accumulates straight into the final distribution; the other
-	// buffers are merged below.
+	// Per-worker state, reused across the jobs a worker drains and drawn
+	// from the plan's arena so a warm plan replays without allocating.
+	// Worker 0 accumulates straight into the final distribution; the
+	// other buffers are merged below.
+	scratches := make([]*engineScratch, workers)
 	parts := make([][]uint64, workers)
+	scratches[0] = planScr
 	parts[0] = dist.Counts
-	hists := make([][]uint64, workers)   // hist[mask*rows+physRow], zeroed per job
-	archRows := make([][]int32, workers) // per-op within-mapped row, constant per job
-	renamers := make([]*mapping.HwRenamer, workers)
-	cycles := make([]*cycleScratch, workers)
-	for w := 0; w < workers; w++ {
-		if w > 0 {
-			parts[w] = make([]uint64, len(dist.Counts))
-		}
-		hists[w] = make([]uint64, nMasks*rows)
-		archRows[w] = make([]int32, len(ops))
-		renamers[w] = mapping.NewHwRenamer(rows)
-		cycles[w] = newCycleScratch(rows, len(ops))
+	for w := 1; w < workers; w++ {
+		scratches[w] = p.getScratch()
+		scratches[w].gen.reset(sched)
+		parts[w] = p.getCounts()
+	}
+	for _, s := range scratches {
+		p.ensureHw(s)
 	}
 
 	pool.ForEachWorker(workers, len(jobs), func(slot, j int) {
 		job := jobs[j]
-		hist := hists[slot]
-		replayJobHist(ops, sched, job, period, rows, archRows[slot], renamers[slot], cycles[slot], hist)
+		s := scratches[slot]
+		replayJobHist(ops, &s.gen, job, period, rows, s.arch, s.hw, s.cyc, s.hist)
 		// Multiply-accumulate the shared histogram into the member
 		// epochs. Epochs whose between-lane permutations also coincide
 		// (St always, Bs once its rotation cycles) collapse into a
 		// single accumulation scaled by their multiplicity.
 		counts := parts[slot]
-		for _, g := range groupByBetween(sched, job.epochs) {
-			addHist(hist, maskLanes, rows, lanes, sched.EpochBetween(g.epoch0), uint64(g.count), counts)
+		for _, g := range groupByBetween(&s.gen, job.epochs, &s.bg) {
+			addHist(s.hist, maskLanes, rows, lanes, s.gen.betweenAt(g.epoch0), uint64(g.count), counts)
 		}
 	})
 
@@ -227,7 +281,10 @@ func simulateHw(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteD
 				dist.Counts[i] += c
 			}
 		}
+		p.putCounts(parts[w])
+		p.putScratch(scratches[w])
 	}
+	p.putScratch(planScr)
 }
 
 // replayJobHist fills hist[mask*rows+physRow] with the exact histogram of
@@ -237,7 +294,7 @@ func simulateHw(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteD
 // O(ops × min(cycleLen, n)) regardless of epoch length. arch, hw and cyc
 // are caller-owned scratch, reusable across jobs; hist is zeroed here.
 // period is the analytic renamer period every job must reproduce.
-func replayJobHist(ops []wop, sched mapping.Schedule, job hwJob, period, rows int,
+func replayJobHist(ops []wop, gen *permGen, job hwJob, period, rows int,
 	arch []int32, hw *mapping.HwRenamer, cyc *cycleScratch, hist []uint64) {
 	sp := obs.StartSpan("core.hw.job")
 	defer sp.End()
@@ -248,7 +305,7 @@ func replayJobHist(ops []wop, sched mapping.Schedule, job hwJob, period, rows in
 	}
 	// The within permutation is loop-invariant across the epoch's
 	// iterations: resolve each op's architectural row once.
-	within := sched.EpochWithin(job.epoch0)
+	within := gen.withinAt(job.epoch0)
 	for i, op := range ops {
 		arch[i] = int32(within.Apply(int(op.row)))
 	}

@@ -17,7 +17,9 @@
 //
 // Memory stays bounded: at most one prefetch batch of histograms is live
 // beyond those still awaiting later member epochs, and a job's histogram
-// is freed as soon as its last member epoch has been accumulated.
+// is recycled — through a segment-local free list backed by the plan's
+// arena — as soon as its last member epoch has been accumulated, so the
+// walk reuses a small ring of buffers instead of allocating one per job.
 package core
 
 import (
@@ -41,10 +43,11 @@ func simulateHwSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist 
 	lanes := p.trace.Lanes
 	rows := cfg.Rows
 	ops, maskLanes := p.ops, p.maskLanes
-	nMasks := len(maskLanes)
 	period := p.cycle.Period
+	planScr := p.getScratch()
+	planScr.gen.reset(sched)
 	plan := sp.Child("plan")
-	jobs := planHwEpochs(cfg, sched)
+	jobs := planHwEpochs(cfg, &planScr.gen)
 	plan.End()
 
 	every := cfg.recompileEvery()
@@ -65,13 +68,33 @@ func simulateHwSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist 
 	obsHwCycleLen.Add(int64(period))
 
 	workers := pool.Size(cfg.workers(), len(jobs))
-	archRows := make([][]int32, workers)
-	renamers := make([]*mapping.HwRenamer, workers)
-	cycles := make([]*cycleScratch, workers)
-	for w := 0; w < workers; w++ {
-		archRows[w] = make([]int32, len(ops))
-		renamers[w] = mapping.NewHwRenamer(rows)
-		cycles[w] = newCycleScratch(rows, len(ops))
+	// Worker replay scratch comes from the plan's arena. The serial epoch
+	// walk shares slot 0's bundle (planScr): prefetch runs synchronously —
+	// the walk is paused while the pool drains a batch — so the two uses
+	// never overlap.
+	scratches := make([]*engineScratch, workers)
+	scratches[0] = planScr
+	for w := 1; w < workers; w++ {
+		scratches[w] = p.getScratch()
+		scratches[w].gen.reset(sched)
+	}
+	for _, s := range scratches {
+		p.ensureHw(s)
+	}
+
+	// Job histograms live across segments (until the job's last member
+	// epoch lands), so they cannot share the per-worker scratch. They are
+	// recycled through a local free list backed by the plan's arena:
+	// a histogram freed by one job is reused — dirty; replayJobHist zeroes
+	// it — by a later prefetch instead of being reallocated.
+	var freeHists [][]uint64
+	getJobHist := func() []uint64 {
+		if n := len(freeHists); n > 0 {
+			h := freeHists[n-1]
+			freeHists = freeHists[:n-1]
+			return h
+		}
+		return p.getHist()
 	}
 
 	// Jobs are indexed in first-seen epoch order, so prefetching a
@@ -88,11 +111,13 @@ func simulateHwSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist 
 			return
 		}
 		lo := nextJob
+		for j := lo; j < upTo; j++ {
+			hists[j] = getJobHist()
+		}
 		pool.ForEachWorker(workers, upTo-lo, func(slot, i int) {
 			j := lo + i
-			hist := make([]uint64, nMasks*rows)
-			replayJobHist(ops, sched, jobs[j], period, rows, archRows[slot], renamers[slot], cycles[slot], hist)
-			hists[j] = hist
+			s := scratches[slot]
+			replayJobHist(ops, &s.gen, jobs[j], period, rows, s.arch, s.hw, s.cyc, hists[j])
 		})
 		nextJob = upTo
 	}
@@ -126,11 +151,12 @@ func simulateHwSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist 
 			if hists[j] == nil {
 				prefetch(nextJob + workers*hwPrefetchBatches)
 			}
-			for _, g := range groupByBetween(sched, segEpochs[j]) {
-				addHist(hists[j], maskLanes, rows, lanes, sched.EpochBetween(g.epoch0), uint64(g.count), dist.Counts)
+			for _, g := range groupByBetween(&planScr.gen, segEpochs[j], &planScr.bg) {
+				addHist(hists[j], maskLanes, rows, lanes, planScr.gen.betweenAt(g.epoch0), uint64(g.count), dist.Counts)
 			}
 			remaining[j] -= len(segEpochs[j])
 			if remaining[j] == 0 {
+				freeHists = append(freeHists, hists[j])
 				hists[j] = nil
 			}
 			segEpochs[j] = segEpochs[j][:0]
@@ -143,5 +169,16 @@ func simulateHwSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist 
 			sampler.Sample(end, itersSoFar, dist)
 		}
 		start = end + 1
+	}
+	for _, h := range freeHists {
+		p.putHist(h)
+	}
+	for _, h := range hists {
+		if h != nil {
+			p.putHist(h)
+		}
+	}
+	for _, s := range scratches {
+		p.putScratch(s)
 	}
 }

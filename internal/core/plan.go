@@ -40,7 +40,9 @@ import (
 // flattened write-op list with mask lane sets (the +Hw replay inputs),
 // the analytic renamer cycle, and the trace statistics. Build one with
 // NewWearPlan and run any number of simulations against it concurrently
-// — the plan is never written after construction.
+// — the precomputed inputs are never written after construction, and the
+// only mutable state is the lock-guarded scratch arena (see arena.go)
+// that recycles engine buffers across simulations.
 type WearPlan struct {
 	trace  *program.Trace
 	rows   int
@@ -66,6 +68,10 @@ type WearPlan struct {
 	fullRows     []int32
 	cycle        mapping.RenamerCycle
 	hwCycleValid bool
+
+	// Reusable engine scratch pooled on the plan (see arena.go); the one
+	// field with interior mutability, guarded by its own mutex.
+	arena arena
 }
 
 // NewWearPlan precomputes the shared simulation plan for one trace on a
@@ -195,7 +201,9 @@ func (p *WearPlan) check(tr *program.Trace, cfg SimConfig) error {
 // plan — core.Simulate with the per-benchmark precomputation factored
 // out, so a sweep pays for it once. Results are bit-identical to
 // Simulate (and SimulateReference) for every worker count and sampling
-// cadence.
+// cadence. The returned distribution's counts buffer is drawn from the
+// plan's arena; callers that are done with it may hand it back with
+// WriteDist.Release to make the next simulation allocation-free.
 func (p *WearPlan) Simulate(cfg SimConfig, strat StrategyConfig) (*WriteDist, error) {
 	if err := cfg.Validate(p.trace, strat.Hw); err != nil {
 		return nil, err
@@ -206,7 +214,7 @@ func (p *WearPlan) Simulate(cfg SimConfig, strat StrategyConfig) (*WriteDist, er
 	sp := obs.StartSpan("core.simulate")
 	defer sp.End()
 	tr := p.trace
-	dist := NewWriteDist(cfg.Rows, tr.Lanes)
+	dist := p.newDist()
 	dist.Iterations = cfg.Iterations
 	dist.StepsPerIteration = p.stats.Steps
 

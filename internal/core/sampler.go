@@ -57,13 +57,15 @@ type WearSampler struct {
 	// linearly in iterations, so the previous sample's p99 scaled by the
 	// iteration ratio predicts the next one well; Sample builds an exact
 	// per-value histogram over a window around that prediction inside the
-	// fused statistics pass, and only falls back to a second scan
-	// (stats.PercentileRadix) when the true p99 lands outside the window.
+	// fused statistics pass, alongside a radix histogram that resolves a
+	// window miss exactly (stats.PercentileFromHist) without a second
+	// scan over the counts.
 	// The engines call Sample serially, so no lock is needed; mu only
 	// guards the handoff of the published grid and totalIts to concurrent
 	// readers.
 	work      []uint64
 	prevP99   uint64
+	prevMax   uint64
 	prevIters int
 
 	// snapWanted demand-paces the heatmap rebuild: WritePNG sets it, and
@@ -121,10 +123,13 @@ func (s *WearSampler) Sample(epoch, iterations int, dist *WriteDist) {
 		scale = float64(total) / float64(iterations)
 	}
 	// Sampling runs on the engine's epoch path, so max, mean, variance,
-	// the dead-cell projection and the p99 window histogram are fused
-	// into a single pass. Variance comes from E[x²]−µ², which can lose
-	// precision when σ ≪ µ — fine for a live CoV readout; the end-of-run
-	// report uses stats.CoV's two-pass form.
+	// the dead-cell projection, the p99 window histogram AND the radix
+	// fallback histogram are all fused into a single pass — a window miss
+	// resolves the exact p99 from the already-built radix histogram
+	// (stats.PercentileFromHist) instead of rescanning the counts.
+	// Variance comes from E[x²]−µ², which can lose precision when σ ≪ µ —
+	// fine for a live CoV readout; the end-of-run report uses
+	// stats.Summarize's Welford form.
 	const p99Window = 4096
 	var pred uint64
 	if s.prevIters > 0 {
@@ -134,7 +139,16 @@ func (s *WearSampler) Sample(epoch, iterations int, dist *WriteDist) {
 	if pred > p99Window/2 {
 		vlo = pred - p99Window/2
 	}
+	// The radix shift comes from the predicted maximum (previous sample's
+	// max scaled by the iteration ratio). An understated prediction only
+	// clamps overshooting values into the top bucket — PercentileFromHist
+	// still resolves the quantile exactly (see stats.RadixShift).
+	var shift uint
+	if s.prevIters > 0 {
+		shift = stats.RadixShift(uint64(float64(s.prevMax) * float64(iterations) / float64(s.prevIters)))
+	}
 	var win [p99Window]uint32
+	var rhist [stats.RadixBuckets]uint32
 	below := 0
 	var maxC uint64
 	var sum, sumsq, dead float64
@@ -148,6 +162,11 @@ func (s *WearSampler) Sample(epoch, iterations int, dist *WriteDist) {
 			}
 		} else {
 			below++
+		}
+		if b := c >> shift; b < stats.RadixBuckets {
+			rhist[b]++
+		} else {
+			rhist[stats.RadixBuckets-1]++
 		}
 		f := float64(c)
 		sum += f
@@ -182,9 +201,10 @@ func (s *WearSampler) Sample(epoch, iterations int, dist *WriteDist) {
 			}
 		}
 		if !hit {
-			p99, s.work = stats.PercentileRadix(counts, 0.99, maxC, s.work)
+			p99, s.work = stats.PercentileFromHist(counts, 0.99, &rhist, shift, s.work)
 		}
 		s.prevP99 = uint64(p99)
+		s.prevMax = maxC
 		s.prevIters = iterations
 	}
 	proj := lifetime.ProjectIterations(float64(maxC), int64(iterations), s.Endurance)

@@ -30,14 +30,20 @@ func TestSampledEngineBitIdentical(t *testing.T) {
 		Seed:           42,
 		Workers:        4,
 	}
+	// One shared plan for every config and run: from the second simulation
+	// on, scratch bundles, counts buffers and +Hw job histograms come back
+	// dirty from the plan's arena instead of fresh from the allocator, so
+	// this loop doubles as the proof that buffer recycling never leaks one
+	// run's state into the next.
+	plan := core.NewWearPlan(tr, sim.Rows, sim.PresetOutputs)
 	for _, strat := range core.AllConfigs() {
-		plain, err := core.Simulate(tr, sim, strat)
+		plain, err := plan.Simulate(sim, strat)
 		if err != nil {
 			t.Fatalf("%s: %v", strat.Name(), err)
 		}
 		sampled := sim
 		sampled.Sampler = core.NewWearSampler("test.wear."+strat.Name(), 2, 1e6)
-		d, err := core.Simulate(tr, sampled, strat)
+		d, err := plan.Simulate(sampled, strat)
 		if err != nil {
 			t.Fatalf("%s sampled: %v", strat.Name(), err)
 		}
@@ -45,6 +51,19 @@ func TestSampledEngineBitIdentical(t *testing.T) {
 			t.Errorf("%s: sampled engine diverges from unsampled (sampled max %d total %d, plain max %d total %d)",
 				strat.Name(), d.Max(), d.Total(), plain.Max(), plain.Total())
 		}
+		// A second sampled run on the now-warm arena accumulates through
+		// recycled job histograms and scratch; bit-identity proves the
+		// recycling discipline (histograms returned dirty, zeroed at reuse).
+		warm := sim
+		warm.Sampler = core.NewWearSampler("test.wear.warm."+strat.Name(), 2, 1e6)
+		d2, err := plan.Simulate(warm, strat)
+		if err != nil {
+			t.Fatalf("%s warm sampled: %v", strat.Name(), err)
+		}
+		if !d2.Equal(plain) {
+			t.Errorf("%s: warm-arena sampled run diverges from cold run", strat.Name())
+		}
+		d2.Release()
 		s := sampled.Sampler.Series()
 		if s.Len() == 0 {
 			t.Fatalf("%s: no samples recorded", strat.Name())

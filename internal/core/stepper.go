@@ -50,24 +50,22 @@ type Stepper struct {
 	epoch int // next epoch index
 	iters int // iterations accumulated so far
 
-	// Software path: pending between-invariant full-mask row weights,
-	// expanded into whole rows by Finish.
-	rowW []uint64
+	// scr is the stepper's arena-drawn working state, held from NewStepper
+	// until Finish returns it to the plan: the pending software row
+	// weights (scr.rowW, expanded into whole rows by Finish), the +Hw
+	// replay scratch and memoized histogram (scr.hist), and the live
+	// per-physical-row maxima (scr.rowMax — hottest materialized cell per
+	// row: CSR adds and +Hw histogram landings; excludes the pending rowW,
+	// which Step folds in when it updates curMax).
+	scr *engineScratch
 
-	// +Hw path: per-worker-style scratch plus a one-entry histogram memo
-	// keyed by (within permutation of histEpoch, histN iterations).
-	arch      []int32
-	hw        *mapping.HwRenamer
-	cyc       *cycleScratch
-	hist      []uint64
+	// One-entry +Hw histogram memo key: scr.hist holds the histogram of
+	// epoch histEpoch run for histN iterations (-1 = no entry).
 	histEpoch int
 	histN     int
 
-	// Live maximum tracking: rowMax is the hottest materialized cell per
-	// physical row (CSR adds and +Hw histogram landings; excludes the
-	// pending rowW, which Step folds in when it updates curMax).
-	rowMax []uint64
-	curMax uint64
+	selfEpoch [1]int // reusable single-epoch member list for replay jobs
+	curMax    uint64
 }
 
 // NewStepper prepares an incremental simulation of one load-balancing
@@ -97,19 +95,18 @@ func (p *WearPlan) NewStepper(cfg SimConfig, strat StrategyConfig) (*Stepper, er
 			Within: strat.Within, Between: strat.Between,
 			Seed: cfg.Seed, ShiftStep: cfg.ShiftStep,
 		},
-		dist:      NewWriteDist(cfg.Rows, tr.Lanes),
-		rowMax:    make([]uint64, cfg.Rows),
+		dist:      p.newDist(),
 		histEpoch: -1,
 	}
 	s.dist.StepsPerIteration = p.stats.Steps
+	s.scr = p.getScratch()
+	s.scr.gen.reset(s.sched)
+	p.ensureRowMax(s.scr)
 	if strat.Hw {
-		s.arch = make([]int32, len(p.ops))
-		s.hw = mapping.NewHwRenamer(cfg.Rows)
-		s.cyc = newCycleScratch(cfg.Rows, len(p.ops))
-		s.hist = make([]uint64, len(p.maskLanes)*cfg.Rows)
+		p.ensureHw(s.scr)
 		obsHwCycleLen.Add(int64(p.cycle.Period))
 	} else {
-		s.rowW = make([]uint64, cfg.Rows)
+		p.ensureRowW(s.scr)
 	}
 	return s, nil
 }
@@ -147,12 +144,13 @@ func (s *Stepper) Step(iters int) {
 // primitive, then refreshes the per-row maxima the epoch touched.
 func (s *Stepper) stepSoftware(iters int) {
 	p := s.plan
-	job := swJob{epoch0: s.epoch, iters: uint64(iters), epochs: 1}
-	accumulateSwJob(p, s.sched, job, s.rowW, nil, s.dist.Counts)
+	job := swJob{epoch0: s.epoch, iters: uint64(iters), epochs: 1, next: -1}
+	rowW := s.scr.rowW
+	accumulateSwJob(p, &s.scr.gen, job, rowW, nil, s.dist.Counts)
 	obsSwGroups.Add(1)
 
 	lanes := p.trace.Lanes
-	within := s.sched.EpochWithin(s.epoch)
+	within := s.scr.gen.withinAt(s.epoch)
 	// CSR rows gained materialized cell writes: rescan each touched row.
 	for _, r := range p.csrRows {
 		pr := within.Apply(int(r))
@@ -163,15 +161,15 @@ func (s *Stepper) stepSoftware(iters int) {
 				m = c
 			}
 		}
-		s.rowMax[pr] = m
-		if cand := m + s.rowW[pr]; cand > s.curMax {
+		s.scr.rowMax[pr] = m
+		if cand := m + rowW[pr]; cand > s.curMax {
 			s.curMax = cand
 		}
 	}
 	// Full-mask rows only grew their pending uniform weight.
 	for _, r := range p.fullRowIdx {
 		pr := within.Apply(int(r))
-		if cand := s.rowMax[pr] + s.rowW[pr]; cand > s.curMax {
+		if cand := s.scr.rowMax[pr] + rowW[pr]; cand > s.curMax {
 			s.curMax = cand
 		}
 	}
@@ -182,31 +180,33 @@ func (s *Stepper) stepSoftware(iters int) {
 // maxima cell by cell.
 func (s *Stepper) stepHw(iters int) {
 	p := s.plan
-	within := s.sched.EpochWithin(s.epoch)
-	if s.histEpoch >= 0 && s.histN == iters && s.sched.EpochWithin(s.histEpoch).Equal(within) {
+	within := s.scr.gen.withinAt(s.epoch)
+	if s.histEpoch >= 0 && s.histN == iters && s.scr.gen.within2At(s.histEpoch).Equal(within) {
 		// One-entry memo hit: same within permutation and length means the
 		// identical histogram (the renamer resets every epoch).
 		obsHwMemoHits.Add(1)
 		obsHwReplayItersSaved.Add(int64(iters))
 	} else {
-		job := hwJob{epoch0: s.epoch, fp: within.Fingerprint(), n: iters, epochs: []int{s.epoch}}
-		replayJobHist(p.ops, s.sched, job, p.cycle.Period, s.dist.Rows, s.arch, s.hw, s.cyc, s.hist)
+		s.selfEpoch[0] = s.epoch
+		job := hwJob{epoch0: s.epoch, fp: within.Fingerprint(), n: iters, epochs: s.selfEpoch[:], next: -1}
+		replayJobHist(p.ops, &s.scr.gen, job, p.cycle.Period, s.dist.Rows, s.scr.arch, s.scr.hw, s.scr.cyc, s.scr.hist)
 		obsHwReplays.Add(1)
 		s.histEpoch, s.histN = s.epoch, iters
 	}
 
 	rows, lanes := s.dist.Rows, s.dist.Lanes
-	between := s.sched.EpochBetween(s.epoch)
+	between := s.scr.gen.betweenAt(s.epoch)
 	counts := s.dist.Counts
 	for m := range p.maskLanes {
 		lanesOf := p.maskLanes[m]
+		rowMax := s.scr.rowMax
 		for r := 0; r < rows; r++ {
-			c := s.hist[m*rows+r]
+			c := s.scr.hist[m*rows+r]
 			if c == 0 {
 				continue
 			}
 			dst := counts[r*lanes:]
-			rm := s.rowMax[r]
+			rm := rowMax[r]
 			for _, l := range lanesOf {
 				bl := between.Apply(l)
 				v := dst[bl] + c
@@ -215,7 +215,7 @@ func (s *Stepper) stepHw(iters int) {
 					rm = v
 				}
 			}
-			s.rowMax[r] = rm
+			rowMax[r] = rm
 			if rm > s.curMax {
 				s.curMax = rm
 			}
@@ -224,16 +224,20 @@ func (s *Stepper) stepHw(iters int) {
 }
 
 // Finish completes the accumulation (expanding the pending full-mask row
-// weights, on the software path) and returns the distribution — cell-
-// for-cell identical to Simulate over the same epoch sequence. The
-// stepper must not be stepped again after Finish.
+// weights, on the software path), returns the stepper's working scratch
+// to the plan's arena, and returns the distribution — cell-for-cell
+// identical to Simulate over the same epoch sequence. The stepper must
+// not be stepped again after Finish.
 func (s *Stepper) Finish() (*WriteDist, error) {
 	if s.iters <= 0 {
 		return nil, fmt.Errorf("core: stepper finished with no iterations stepped")
 	}
-	if s.rowW != nil {
-		expandRowWeights(s.rowW, s.dist.Lanes, s.dist.Counts)
-		s.rowW = nil
+	if s.scr != nil {
+		if !s.strat.Hw {
+			expandRowWeights(s.scr.rowW, s.dist.Lanes, s.dist.Counts)
+		}
+		s.plan.putScratch(s.scr)
+		s.scr = nil
 	}
 	s.dist.Iterations = s.iters
 	if obs.Enabled() {

@@ -61,33 +61,47 @@ type swJob struct {
 	epoch0 int    // representative epoch (regenerates both perms)
 	iters  uint64 // summed iterations of all member epochs
 	epochs int    // member epoch count (memoization accounting)
+	next   int32  // next job in the same fingerprint bucket (-1 ends)
 }
 
 // planSwEpochs walks an epoch range [first, last] once and groups epochs
 // whose accumulations would be identical: equal within AND between
 // permutations (fingerprint buckets resolved by exact comparison).
-// Permutations are regenerated from the schedule on demand, so jobs hold
-// only integers. iterLen returns an epoch's iteration count.
-func planSwEpochs(sched mapping.Schedule, first, last int, iterLen func(epoch int) int) []swJob {
+// Permutations are regenerated into gen's scratch on demand, so jobs
+// hold only integers and planning an epoch range allocates only the job
+// slice and the fingerprint index — not a permutation pair per epoch.
+// Fingerprint collisions chain through swJob.next instead of per-bucket
+// slices. iterLen returns an epoch's iteration count.
+func planSwEpochs(gen *permGen, first, last int, iterLen func(epoch int) int) []swJob {
 	type key struct{ wfp, bfp uint64 }
-	var jobs []swJob
-	index := map[key][]int{} // fingerprint bucket -> job ids (collision list)
+	jobs := make([]swJob, 0, last-first+1)
+	index := make(map[key]int32, last-first+1) // fingerprint bucket -> chain head
 	for epoch := first; epoch <= last; epoch++ {
-		within := sched.EpochWithin(epoch)
-		between := sched.EpochBetween(epoch)
+		within := gen.withinAt(epoch)
+		between := gen.betweenAt(epoch)
 		k := key{within.Fingerprint(), between.Fingerprint()}
-		jobID := -1
-		for _, cand := range index[k] {
-			e0 := jobs[cand].epoch0
-			if sched.EpochWithin(e0).Equal(within) && sched.EpochBetween(e0).Equal(between) {
-				jobID = cand
+		var jobID int32
+		if head, ok := index[k]; ok {
+			for cand := head; ; {
+				e0 := jobs[cand].epoch0
+				if gen.within2At(e0).Equal(within) && gen.between2At(e0).Equal(between) {
+					jobID = cand
+					break
+				}
+				if next := jobs[cand].next; next >= 0 {
+					cand = next
+					continue
+				}
+				// True fingerprint collision: new job at the chain's end.
+				jobID = int32(len(jobs))
+				jobs = append(jobs, swJob{epoch0: epoch, next: -1})
+				jobs[cand].next = jobID
 				break
 			}
-		}
-		if jobID < 0 {
-			jobID = len(jobs)
-			jobs = append(jobs, swJob{epoch0: epoch})
-			index[k] = append(index[k], jobID)
+		} else {
+			jobID = int32(len(jobs))
+			jobs = append(jobs, swJob{epoch0: epoch, next: -1})
+			index[k] = jobID
 		}
 		jobs[jobID].iters += uint64(iterLen(epoch))
 		jobs[jobID].epochs++
@@ -114,10 +128,10 @@ func (c SimConfig) epochLen() func(epoch int) int {
 // counts through the group's between permutation. touched, when non-nil,
 // records physical rows whose rowW entry became nonzero (the sampled
 // engine resets only those between segments).
-func accumulateSwJob(p *WearPlan, sched mapping.Schedule, job swJob,
+func accumulateSwJob(p *WearPlan, gen *permGen, job swJob,
 	rowW []uint64, touched *[]int32, counts []uint64) {
-	within := sched.EpochWithin(job.epoch0)
-	between := sched.EpochBetween(job.epoch0)
+	within := gen.withinAt(job.epoch0)
+	between := gen.betweenAt(job.epoch0)
 	for i, r := range p.fullRowIdx {
 		pr := within.Apply(int(r))
 		if touched != nil && rowW[pr] == 0 {
@@ -151,31 +165,40 @@ func expandRowWeights(rowW []uint64, lanes int, counts []uint64) {
 
 // simulateSoftware is the fast software path: group epochs by
 // permutation pair, shard the surviving groups over the bounded worker
-// pool, merge per-worker buffers by addition. Bit-identical to
-// simulateSoftwareReference for every worker count.
+// pool, merge per-worker buffers by addition. All working state — the
+// per-worker scratch bundles and partial-counts buffers — is drawn from
+// the plan's arena, so a warm plan simulates without touching the
+// allocator. Bit-identical to simulateSoftwareReference for every
+// worker count.
 func simulateSoftware(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *WriteDist) {
 	sp := obs.StartSpan("core.simulate/sw-accumulate")
 	defer sp.End()
 	every := cfg.recompileEvery()
 	totalEpochs := (cfg.Iterations + every - 1) / every
-	jobs := planSwEpochs(sched, 0, totalEpochs-1, cfg.epochLen())
+	planScr := p.getScratch()
+	planScr.gen.reset(sched)
+	jobs := planSwEpochs(&planScr.gen, 0, totalEpochs-1, cfg.epochLen())
 	obsEpochs.Add(int64(totalEpochs))
 	obsSwGroups.Add(int64(len(jobs)))
 	obsSwMemoHits.Add(int64(totalEpochs - len(jobs)))
 
 	lanes := p.trace.Lanes
 	workers := pool.Size(cfg.workers(), len(jobs))
+	scratches := make([]*engineScratch, workers)
 	parts := make([][]uint64, workers)
-	rowWs := make([][]uint64, workers)
+	scratches[0] = planScr
 	parts[0] = dist.Counts
-	for w := 0; w < workers; w++ {
-		if w > 0 {
-			parts[w] = make([]uint64, len(dist.Counts))
-		}
-		rowWs[w] = make([]uint64, cfg.Rows)
+	for w := 1; w < workers; w++ {
+		scratches[w] = p.getScratch()
+		scratches[w].gen.reset(sched)
+		parts[w] = p.getCounts()
+	}
+	for _, s := range scratches {
+		p.ensureRowW(s)
 	}
 	pool.ForEachWorker(workers, len(jobs), func(slot, j int) {
-		accumulateSwJob(p, sched, jobs[j], rowWs[slot], nil, parts[slot])
+		s := scratches[slot]
+		accumulateSwJob(p, &s.gen, jobs[j], s.rowW, nil, parts[slot])
 	})
 	for w := 1; w < workers; w++ {
 		for i, c := range parts[w] {
@@ -183,11 +206,14 @@ func simulateSoftware(p *WearPlan, cfg SimConfig, sched mapping.Schedule, dist *
 				dist.Counts[i] += c
 			}
 		}
-		for pr, c := range rowWs[w] {
-			rowWs[0][pr] += c
+		for pr, c := range scratches[w].rowW {
+			planScr.rowW[pr] += c
 		}
+		p.putCounts(parts[w])
+		p.putScratch(scratches[w])
 	}
-	expandRowWeights(rowWs[0], lanes, dist.Counts)
+	expandRowWeights(planScr.rowW, lanes, dist.Counts)
+	p.putScratch(planScr)
 }
 
 // simulateSoftwareSampled is simulateSoftware with epoch-ordered
@@ -204,18 +230,21 @@ func simulateSoftwareSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule,
 	totalEpochs := (cfg.Iterations + every - 1) / every
 	iterLen := cfg.epochLen()
 	lanes := p.trace.Lanes
-	rowW := make([]uint64, cfg.Rows)
-	var touched []int32
+	scr := p.getScratch()
+	scr.gen.reset(sched)
+	p.ensureRowW(scr)
+	rowW := scr.rowW
+	touched := scr.touched[:0]
 	groups := 0
 	for start := 0; start < totalEpochs; {
 		end := start
 		for !sampler.due(end, totalEpochs-1) {
 			end++
 		}
-		jobs := planSwEpochs(sched, start, end, iterLen)
+		jobs := planSwEpochs(&scr.gen, start, end, iterLen)
 		groups += len(jobs)
 		for _, job := range jobs {
-			accumulateSwJob(p, sched, job, rowW, &touched, dist.Counts)
+			accumulateSwJob(p, &scr.gen, job, rowW, &touched, dist.Counts)
 		}
 		// Segment boundary: complete the rank-1 full-mask part so the
 		// sampler sees the true prefix distribution, then reset only the
@@ -236,6 +265,8 @@ func simulateSoftwareSampled(p *WearPlan, cfg SimConfig, sched mapping.Schedule,
 		sampler.Sample(end, itersSoFar, dist)
 		start = end + 1
 	}
+	scr.touched = touched[:0]
+	p.putScratch(scr)
 	obsEpochs.Add(int64(totalEpochs))
 	obsSwGroups.Add(int64(groups))
 	obsSwMemoHits.Add(int64(totalEpochs - groups))

@@ -113,6 +113,60 @@ func (k Kind) EvalWord(a, b uint64) uint64 {
 	panic(fmt.Sprintf("gates: invalid kind %d", uint8(k)))
 }
 
+// EvalWords is the bulk form of EvalWord: it evaluates the gate over
+// parallel word slices and merges each result into dst under the
+// corresponding lane-mask word — dst[i] keeps its bits where mask[i] is
+// 0, takes the gate's where it is 1, and all-ones words are stored
+// directly. The gate-kind dispatch is hoisted out of the per-word loop
+// (every kind reduces to one of four base word ops plus an optional
+// inversion), so a whole row evaluates with one switch instead of one
+// per word. Zero-mask words are skipped. Single-input gates ignore b;
+// slices must share a length. Like Eval, it panics on an invalid kind.
+func (k Kind) EvalWords(dst, a, b, mask []uint64) {
+	var inv uint64
+	switch k {
+	case NOT, NAND, NOR, XNOR:
+		inv = ^uint64(0)
+	}
+	switch k {
+	case NOT, COPY:
+		for i, m := range mask {
+			if m != 0 {
+				mergeWord(dst, i, a[i]^inv, m)
+			}
+		}
+	case AND, NAND:
+		for i, m := range mask {
+			if m != 0 {
+				mergeWord(dst, i, (a[i]&b[i])^inv, m)
+			}
+		}
+	case OR, NOR:
+		for i, m := range mask {
+			if m != 0 {
+				mergeWord(dst, i, (a[i]|b[i])^inv, m)
+			}
+		}
+	case XOR, XNOR:
+		for i, m := range mask {
+			if m != 0 {
+				mergeWord(dst, i, (a[i]^b[i])^inv, m)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("gates: invalid kind %d", uint8(k)))
+	}
+}
+
+// mergeWord lands a gate result word into dst[i] under a lane mask.
+func mergeWord(dst []uint64, i int, v, m uint64) {
+	if m == ^uint64(0) {
+		dst[i] = v
+		return
+	}
+	dst[i] = (dst[i] &^ m) | (v & m)
+}
+
 // CellReads returns the number of memory-cell read operations a single
 // execution of the gate induces: one per input cell (§2.2 — current is
 // passed through every input device).

@@ -82,6 +82,37 @@ func RandomPerm(n int, rng *rand.Rand) *Perm {
 	return p
 }
 
+// NewPerm allocates an uninitialized permutation over n addresses for use
+// as reusable scratch with the Set* fill methods and the Schedule's
+// EpochWithinInto/EpochBetweenInto.
+func NewPerm(n int) *Perm { return &Perm{l2p: make([]int32, n)} }
+
+// SetIdentity fills p with the identity mapping in place.
+func (p *Perm) SetIdentity() {
+	for i := range p.l2p {
+		p.l2p[i] = int32(i)
+	}
+}
+
+// SetShift fills p with the rotation i → (i + k) mod n in place.
+func (p *Perm) SetShift(k int) {
+	n := len(p.l2p)
+	k = ((k % n) + n) % n
+	for i := range p.l2p {
+		p.l2p[i] = int32((i + k) % n)
+	}
+}
+
+// SetRandom fills p with a uniform permutation drawn from rng in place —
+// the same Fisher–Yates sequence as RandomPerm, so a reused scratch
+// permutation is bit-identical to a freshly allocated one.
+func (p *Perm) SetRandom(rng *rand.Rand) {
+	p.SetIdentity()
+	rng.Shuffle(len(p.l2p), func(i, j int) {
+		p.l2p[i], p.l2p[j] = p.l2p[j], p.l2p[i]
+	})
+}
+
 // ShiftPerm returns the rotation i → (i + k) mod n.
 func ShiftPerm(n, k int) *Perm {
 	p := &Perm{l2p: make([]int32, n)}
@@ -183,30 +214,65 @@ func (s Schedule) step() int {
 	return s.ShiftStep
 }
 
+// Salts separating the within-lane and between-lane random streams.
+const (
+	saltWithin  = 0x5749544849
+	saltBetween = 0x42455457
+)
+
 // EpochWithin returns the within-lane permutation for a recompile epoch.
 func (s Schedule) EpochWithin(epoch int) *Perm {
-	return epochPerm(s.Within, s.Rows, epoch, s.Seed, 0x5749544849, s.step())
+	return epochPermInto(s.Within, s.Rows, epoch, s.Seed, saltWithin, s.step(), nil, nil)
 }
 
 // EpochBetween returns the between-lane permutation for a recompile epoch.
 func (s Schedule) EpochBetween(epoch int) *Perm {
-	return epochPerm(s.Between, s.Lanes, epoch, s.Seed, 0x42455457, s.step())
+	return epochPermInto(s.Between, s.Lanes, epoch, s.Seed, saltBetween, s.step(), nil, nil)
 }
 
-func epochPerm(st Strategy, n, epoch int, seed, salt int64, step int) *Perm {
+// EpochWithinInto is EpochWithin with caller-owned scratch: p is filled in
+// place when its size matches (reallocated otherwise) and rng, when
+// non-nil, is re-seeded instead of allocating a fresh source per epoch.
+// The filled permutation — always returned — is bit-identical to
+// EpochWithin's for every epoch.
+func (s Schedule) EpochWithinInto(epoch int, p *Perm, rng *rand.Rand) *Perm {
+	return epochPermInto(s.Within, s.Rows, epoch, s.Seed, saltWithin, s.step(), p, rng)
+}
+
+// EpochBetweenInto is EpochBetween with caller-owned scratch, with the
+// same reuse and bit-identity contract as EpochWithinInto.
+func (s Schedule) EpochBetweenInto(epoch int, p *Perm, rng *rand.Rand) *Perm {
+	return epochPermInto(s.Between, s.Lanes, epoch, s.Seed, saltBetween, s.step(), p, rng)
+}
+
+func epochPermInto(st Strategy, n, epoch int, seed, salt int64, step int, p *Perm, rng *rand.Rand) *Perm {
+	if p == nil || len(p.l2p) != n {
+		p = NewPerm(n)
+	}
 	switch st {
 	case Static:
-		return Identity(n)
+		p.SetIdentity()
+		return p
 	case Random:
 		if epoch == 0 {
 			// Epoch 0 is the as-compiled layout for every strategy,
 			// so all configurations share the same first epoch.
-			return Identity(n)
+			p.SetIdentity()
+			return p
 		}
-		rng := rand.New(rand.NewSource(mix(seed, salt, int64(epoch))))
-		return RandomPerm(n, rng)
+		// Re-seeding a reused rand.Rand replays the exact stream a fresh
+		// rand.New(rand.NewSource(seed)) would produce, so scratch reuse
+		// cannot change any permutation.
+		if rng == nil {
+			rng = rand.New(rand.NewSource(mix(seed, salt, int64(epoch))))
+		} else {
+			rng.Seed(mix(seed, salt, int64(epoch)))
+		}
+		p.SetRandom(rng)
+		return p
 	case ByteShift:
-		return ShiftPerm(n, epoch*step)
+		p.SetShift(epoch * step)
+		return p
 	}
 	panic(fmt.Sprintf("mapping: unknown strategy %d", st))
 }

@@ -68,6 +68,35 @@ func ForEach(workers, n int, fn func(i int)) {
 	ForEachWorker(workers, n, func(_, i int) { fn(i) })
 }
 
+// ForEachBlock partitions [0, n) into one contiguous block per worker
+// (≤ 0 selects GOMAXPROCS; the pool clamps to n) and runs fn(lo, hi) for
+// each block. It exists for data-parallel kernels over dense arrays —
+// row-block gate execution in internal/array — where contiguous ranges
+// keep the per-worker access pattern sequential and a shared work counter
+// would only add contention. With an effective size of 1 it runs fn(0, n)
+// inline, spawning nothing. Blocks are near-equal (boundaries distributed
+// evenly when n does not divide); fn must make block effects independent
+// of scheduling, as with ForEach.
+func ForEachBlock(workers, n int, fn func(lo, hi int)) {
+	w := Size(workers, n)
+	obsDispatches.Add(1)
+	obsJobs.Add(int64(w))
+	obsQueueDepth.Observe(int64(w))
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for b := 0; b < w; b++ {
+		go func(b int) {
+			defer wg.Done()
+			fn(b*n/w, (b+1)*n/w)
+		}(b)
+	}
+	wg.Wait()
+}
+
 // ForEachWorker is ForEach with the worker slot id (0..size-1) passed
 // alongside each item, so callers can keep per-worker accumulation
 // buffers without locking. Slot 0 is always used; when the pool runs

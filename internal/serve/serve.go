@@ -62,6 +62,11 @@ type Config struct {
 	// CacheSize bounds the WearPlan LRU (default 32 plans; 0 keeps the
 	// default — use a negative value to disable caching).
 	CacheSize int
+	// Cache, when non-nil, is used instead of a server-owned PlanCache
+	// (CacheSize is then ignored). Embedders that already hold a cache
+	// share plans — and therefore per-plan scratch arenas — between
+	// their own direct simulations and the jobs this server runs.
+	Cache *pim.PlanCache
 	// History bounds how many finished jobs stay pollable before the
 	// oldest are forgotten (default 16384).
 	History int
@@ -147,9 +152,13 @@ type job struct {
 // New creates a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cache := cfg.Cache
+	if cache == nil {
+		cache = pim.NewPlanCache(cfg.CacheSize)
+	}
 	s := &Server{
 		cfg:      cfg,
-		cache:    pim.NewPlanCache(cfg.CacheSize),
+		cache:    cache,
 		jobs:     map[string]*job{},
 		inflight: map[string]*job{},
 	}
@@ -354,12 +363,20 @@ func (s *Server) run(j *job) (*JobResult, error) {
 	return buildResult(j, results, hit), nil
 }
 
-// releaseTelemetry unregisters a finished job's scoped series and
-// wear-PNG sources: the samples live on in the JobResult, and the
-// registry stays bounded no matter how many jobs the server has run.
+// releaseTelemetry retires a finished job's per-run state: the per-cell
+// write distributions go back to their plan's arena (the JobResult keeps
+// only summaries and a checksum, so steady-state traffic against a cached
+// plan recycles counts buffers instead of allocating 8 MB per strategy),
+// and the job's scoped series and wear-PNG sources are unregistered — the
+// samples live on in the JobResult, and the registry stays bounded no
+// matter how many jobs the server has run.
 func releaseTelemetry(results []*pim.Result) {
 	for _, r := range results {
-		if r == nil || r.Wear == nil {
+		if r == nil {
+			continue
+		}
+		r.Dist.Release()
+		if r.Wear == nil {
 			continue
 		}
 		obs.RemoveSeries(r.Wear.Name())

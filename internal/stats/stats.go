@@ -56,6 +56,64 @@ func CoV(counts []uint64) float64 {
 	return math.Sqrt(ss/float64(len(counts))) / µ
 }
 
+// Summary is a one-pass digest of a count distribution: the fused
+// uint64→float64 statistics pass behind Summarize, carrying everything
+// the report and serving paths previously derived from three or four
+// separate full scans (Max, Mean, MaxOverMean, CoV).
+type Summary struct {
+	// N is the cell count.
+	N int
+	// Max is the largest count.
+	Max uint64
+	// Total is the sum of all counts.
+	Total uint64
+	// Mean is the arithmetic mean.
+	Mean float64
+	// CoV is the coefficient of variation σ/µ (NaN for empty or all-zero
+	// input), computed with Welford's recurrence — numerically stable even
+	// when σ ≪ µ, unlike the E[x²]−µ² shortcut.
+	CoV float64
+}
+
+// MaxOverMean is the imbalance factor Max/Mean — the quantity that
+// directly determines lifetime loss (NaN when the mean is zero).
+func (s Summary) MaxOverMean() float64 {
+	if s.Mean == 0 {
+		return math.NaN()
+	}
+	return float64(s.Max) / s.Mean
+}
+
+// Summarize computes max, total, mean and the coefficient of variation
+// in a single pass over the counts. It exists so summary consumers stop
+// copying or rescanning multi-megabyte distributions once per statistic:
+// one Summarize call replaces a Max + Mean + CoV (two-pass) cascade.
+func Summarize(counts []uint64) Summary {
+	s := Summary{N: len(counts)}
+	var mean, m2 float64
+	for i, c := range counts {
+		if c > s.Max {
+			s.Max = c
+		}
+		s.Total += c
+		f := float64(c)
+		d := f - mean
+		mean += d / float64(i+1)
+		m2 += d * (f - mean)
+	}
+	if s.N == 0 {
+		s.CoV = math.NaN()
+		return s
+	}
+	s.Mean = mean
+	if mean == 0 {
+		s.CoV = math.NaN()
+	} else {
+		s.CoV = math.Sqrt(m2/float64(s.N)) / mean
+	}
+	return s
+}
+
 // Percentile returns the q-quantile (0 ≤ q ≤ 1) of the counts by
 // nearest-rank on a quickselect partition — O(n) expected, no full sort,
 // so the telemetry sampler can afford it per epoch on paper-scale
@@ -214,24 +272,36 @@ func quickselect(work []uint64, k int) uint64 {
 // Gini returns the Gini index of the counts (0 = perfectly even, →1 =
 // concentrated on few cells).
 func Gini(counts []uint64) float64 {
+	v, _ := GiniReuse(counts, nil)
+	return v
+}
+
+// GiniReuse is Gini with a caller-provided float64 scratch slice (grown
+// when too small and handed back for the next call), so summary loops
+// over many distributions sort in one reused buffer instead of
+// allocating a full float64 copy per call. The input is never mutated.
+func GiniReuse(counts []uint64, work []float64) (float64, []float64) {
 	n := len(counts)
 	if n == 0 {
-		return math.NaN()
+		return math.NaN(), work
 	}
-	sorted := make([]float64, n)
+	if cap(work) < n {
+		work = make([]float64, n)
+	}
+	work = work[:n]
 	for i, c := range counts {
-		sorted[i] = float64(c)
+		work[i] = float64(c)
 	}
-	sort.Float64s(sorted)
+	sort.Float64s(work)
 	var cum, total float64
-	for i, v := range sorted {
+	for i, v := range work {
 		cum += v * float64(i+1)
 		total += v
 	}
 	if total == 0 {
-		return math.NaN()
+		return math.NaN(), work
 	}
-	return (2*cum)/(float64(n)*total) - (float64(n)+1)/float64(n)
+	return (2*cum)/(float64(n)*total) - (float64(n)+1)/float64(n), work
 }
 
 // Grid is a dense row-major float matrix.

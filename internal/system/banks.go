@@ -327,10 +327,12 @@ func Stripe(plan *core.WearPlan, sim core.SimConfig, strat core.StrategyConfig, 
 		obsBankSims.Add(1)
 		br := &res.Banks[b]
 		br.Dist = dist
-		br.MaxWrites = dist.Max()
-		cells := float64(len(dist.Counts))
-		br.MeanWrites = float64(dist.Total()) / cells
-		br.CoV = stats.CoV(dist.Counts)
+		// One fused pass for max, mean and CoV — Max + Total + CoV each
+		// rescanned the multi-megabyte distribution.
+		sum := stats.Summarize(dist.Counts)
+		br.MaxWrites = sum.Max
+		br.MeanWrites = float64(sum.Total) / float64(sum.N)
+		br.CoV = sum.CoV
 		if sampler != nil {
 			br.Wear = sampler.Series()
 		}

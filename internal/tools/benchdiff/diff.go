@@ -45,6 +45,12 @@ func readDocument(path string) (*document, error) {
 	return &doc, nil
 }
 
+// minGatedAllocs is the smallest base allocs/op the allocation gate acts
+// on: below it a handful of pool-timing-dependent allocations swings the
+// percentage wildly, so small-footprint benchmarks are reported but never
+// gated — the timing gate's min-ns guard, applied to allocations.
+const minGatedAllocs = 64
+
 // delta is one benchmark's base-vs-new comparison.
 type delta struct {
 	Name      string
@@ -52,6 +58,14 @@ type delta struct {
 	NewNs     float64
 	Percent   float64 // (new-base)/base × 100; positive = slower
 	Regressed bool
+
+	// Allocation comparison, populated when both documents carry a
+	// -benchmem allocs/op metric for the benchmark.
+	HasAllocs      bool
+	BaseAllocs     float64
+	NewAllocs      float64
+	AllocPercent   float64 // (new-base)/base × 100; positive = more allocations
+	AllocRegressed bool
 }
 
 // report is the outcome of comparing two documents.
@@ -66,11 +80,12 @@ type report struct {
 	Added []string
 }
 
-// regressions returns the deltas that crossed the threshold.
+// regressions returns the deltas that crossed either the timing or the
+// allocation threshold.
 func (r report) regressions() []delta {
 	var out []delta
 	for _, d := range r.Deltas {
-		if d.Regressed {
+		if d.Regressed || d.AllocRegressed {
 			out = append(out, d)
 		}
 	}
@@ -80,8 +95,11 @@ func (r report) regressions() []delta {
 // compare diffs new against base. A benchmark regresses when it is
 // slower by more than thresholdPct percent AND its base timing is at
 // least minNs nanoseconds — sub-minNs benchmarks are noise-dominated at
-// -benchtime=1x and only ever reported, never gated on.
-func compare(base, new *document, thresholdPct, minNs float64) report {
+// -benchtime=1x and only ever reported, never gated on. Benchmarks with
+// a -benchmem allocs/op metric in both documents are additionally gated
+// on allocation growth beyond allocThresholdPct percent (bases under
+// minGatedAllocs are report-only, as with minNs).
+func compare(base, new *document, thresholdPct, minNs, allocThresholdPct float64) report {
 	var rep report
 	for name, b := range base.Benchmarks {
 		n, ok := new.Benchmarks[name]
@@ -93,13 +111,22 @@ func compare(base, new *document, thresholdPct, minNs float64) report {
 			continue
 		}
 		pct := (n.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
-		rep.Deltas = append(rep.Deltas, delta{
+		d := delta{
 			Name:      name,
 			BaseNs:    b.NsPerOp,
 			NewNs:     n.NsPerOp,
 			Percent:   pct,
 			Regressed: pct > thresholdPct && b.NsPerOp >= minNs,
-		})
+		}
+		ba, bok := b.Metrics["allocs/op"]
+		na, nok := n.Metrics["allocs/op"]
+		if bok && nok && ba > 0 {
+			d.HasAllocs = true
+			d.BaseAllocs, d.NewAllocs = ba, na
+			d.AllocPercent = (na - ba) / ba * 100
+			d.AllocRegressed = d.AllocPercent > allocThresholdPct && ba >= minGatedAllocs
+		}
+		rep.Deltas = append(rep.Deltas, d)
 	}
 	for name := range new.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {
@@ -114,16 +141,23 @@ func compare(base, new *document, thresholdPct, minNs float64) report {
 
 // write renders the report as an aligned table.
 func (r report) write(w io.Writer, thresholdPct float64) error {
-	if _, err := fmt.Fprintf(w, "%-60s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-60s %14s %14s %9s %11s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs"); err != nil {
 		return err
 	}
 	for _, d := range r.Deltas {
+		allocs := ""
+		if d.HasAllocs {
+			allocs = fmt.Sprintf(" %+10.1f%%", d.AllocPercent)
+		}
 		mark := ""
 		if d.Regressed {
 			mark = "  REGRESSION"
 		}
-		if _, err := fmt.Fprintf(w, "%-60s %14.0f %14.0f %+8.1f%%%s\n",
-			d.Name, d.BaseNs, d.NewNs, d.Percent, mark); err != nil {
+		if d.AllocRegressed {
+			mark += "  ALLOC-REGRESSION"
+		}
+		if _, err := fmt.Fprintf(w, "%-60s %14.0f %14.0f %+8.1f%%%s%s\n",
+			d.Name, d.BaseNs, d.NewNs, d.Percent, allocs, mark); err != nil {
 			return err
 		}
 	}

@@ -17,7 +17,7 @@ func doc(benches map[string]float64) *document {
 // A document compared against itself is clean, whatever the threshold.
 func TestCompareSelfClean(t *testing.T) {
 	d := doc(map[string]float64{"BenchmarkA": 1e6, "BenchmarkB": 2e5})
-	rep := compare(d, d, 25, 50000)
+	rep := compare(d, d, 25, 50000, 25)
 	if len(rep.regressions()) != 0 || len(rep.Missing) != 0 || len(rep.Added) != 0 {
 		t.Errorf("self-compare not clean: %+v", rep)
 	}
@@ -44,7 +44,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 		"BenchmarkDrift": 1.1e6, // +10%: under the 25% gate
 		"BenchmarkFast":  5e5,   // improvement
 	})
-	rep := compare(base, fresh, 25, 50000)
+	rep := compare(base, fresh, 25, 50000, 25)
 	regs := rep.regressions()
 	if len(regs) != 1 || regs[0].Name != "BenchmarkSlow" {
 		t.Fatalf("regressions = %+v, want only BenchmarkSlow", regs)
@@ -63,7 +63,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 func TestCompareMinNsFilter(t *testing.T) {
 	base := doc(map[string]float64{"BenchmarkTiny": 1000})
 	fresh := doc(map[string]float64{"BenchmarkTiny": 5000}) // 5× but tiny
-	rep := compare(base, fresh, 25, 50000)
+	rep := compare(base, fresh, 25, 50000, 25)
 	if len(rep.regressions()) != 0 {
 		t.Errorf("sub-min-ns benchmark gated: %+v", rep.regressions())
 	}
@@ -76,7 +76,7 @@ func TestCompareMinNsFilter(t *testing.T) {
 func TestCompareMissingAndAdded(t *testing.T) {
 	base := doc(map[string]float64{"BenchmarkGone": 1e6, "BenchmarkKept": 1e6})
 	fresh := doc(map[string]float64{"BenchmarkKept": 1e6, "BenchmarkNew": 1e6})
-	rep := compare(base, fresh, 25, 50000)
+	rep := compare(base, fresh, 25, 50000, 25)
 	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkGone" {
 		t.Errorf("missing = %v", rep.Missing)
 	}
@@ -95,7 +95,7 @@ func TestCommittedBaselineSelfCompare(t *testing.T) {
 	if len(d.Benchmarks) == 0 {
 		t.Fatal("committed baseline has no benchmarks")
 	}
-	rep := compare(d, d, 25, 50000)
+	rep := compare(d, d, 25, 50000, 25)
 	if n := len(rep.regressions()); n != 0 {
 		t.Errorf("baseline self-compare reports %d regressions", n)
 	}
@@ -108,12 +108,67 @@ func TestCommittedBaselineSelfCompare(t *testing.T) {
 	}
 }
 
+// allocDoc builds a document with ns/op and allocs/op per benchmark.
+func allocDoc(benches map[string][2]float64) *document {
+	d := &document{Benchmarks: map[string]result{}}
+	for name, v := range benches {
+		d.Benchmarks[name] = result{
+			Iterations: 1, NsPerOp: v[0],
+			Metrics: map[string]float64{"allocs/op": v[1]},
+		}
+	}
+	return d
+}
+
+// Allocation growth beyond the threshold gates even when timing is flat;
+// sub-minGatedAllocs bases and alloc-free drift never do.
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := allocDoc(map[string][2]float64{
+		"BenchmarkBloat": {1e6, 1000},
+		"BenchmarkDrift": {1e6, 1000},
+		"BenchmarkTiny":  {1e6, 8},
+	})
+	fresh := allocDoc(map[string][2]float64{
+		"BenchmarkBloat": {1e6, 2000}, // 2× allocations at flat timing
+		"BenchmarkDrift": {1e6, 1100}, // +10%: under the 25% gate
+		"BenchmarkTiny":  {1e6, 40},   // 5× but under minGatedAllocs
+	})
+	rep := compare(base, fresh, 25, 50000, 25)
+	regs := rep.regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkBloat" {
+		t.Fatalf("regressions = %+v, want only BenchmarkBloat", regs)
+	}
+	if !regs[0].AllocRegressed || regs[0].Regressed {
+		t.Errorf("BenchmarkBloat should gate on allocations only: %+v", regs[0])
+	}
+	if regs[0].AllocPercent != 100 {
+		t.Errorf("2x allocation growth reported as %+.1f%%, want +100%%", regs[0].AllocPercent)
+	}
+	var buf bytes.Buffer
+	if err := rep.write(&buf, 25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ALLOC-REGRESSION") {
+		t.Errorf("report does not mark the allocation regression:\n%s", buf.String())
+	}
+}
+
+// Documents without -benchmem metrics (the pre-gate snapshot shape)
+// still compare cleanly on timing alone.
+func TestCompareNoAllocMetrics(t *testing.T) {
+	d := doc(map[string]float64{"BenchmarkA": 1e6})
+	rep := compare(d, d, 25, 50000, 25)
+	if len(rep.regressions()) != 0 || rep.Deltas[0].HasAllocs {
+		t.Errorf("metric-free compare not clean: %+v", rep.Deltas)
+	}
+}
+
 // The report marks regressed rows so the advisory output reads at a
 // glance.
 func TestReportMarksRegressions(t *testing.T) {
 	base := doc(map[string]float64{"BenchmarkSlow": 1e6})
 	fresh := doc(map[string]float64{"BenchmarkSlow": 2e6})
-	rep := compare(base, fresh, 25, 50000)
+	rep := compare(base, fresh, 25, 50000, 25)
 	var buf bytes.Buffer
 	if err := rep.write(&buf, 25); err != nil {
 		t.Fatal(err)

@@ -13,8 +13,11 @@
 // benchjson. A benchmark regresses when it is slower than the base by
 // more than -threshold percent and its base timing is at least -min-ns
 // (faster benchmarks are noise-dominated at -benchtime=1x and are only
-// reported). By default the report is advisory (exit 0); with -strict a
-// regression, or a benchmark missing from the new run, exits 1. IO and
+// reported). Benchmarks recorded with -benchmem are additionally gated
+// on allocation growth: more than -alloc-threshold percent additional
+// allocs/op over the base is a regression (bases under 64 allocs/op are
+// report-only). By default the report is advisory (exit 0); with -strict
+// a regression, or a benchmark missing from the new run, exits 1. IO and
 // decode failures exit 2 in both modes.
 package main
 
@@ -29,6 +32,7 @@ func main() {
 	newPath := flag.String("new", "-", "fresh benchjson document (\"-\" = stdin)")
 	threshold := flag.Float64("threshold", 25, "regression threshold in percent ns/op increase")
 	minNs := flag.Float64("min-ns", 50000, "ignore regressions on benchmarks faster than this base ns/op")
+	allocThreshold := flag.Float64("alloc-threshold", 25, "regression threshold in percent allocs/op increase")
 	strict := flag.Bool("strict", false, "exit 1 on regression or missing benchmark (default: advisory)")
 	flag.Parse()
 
@@ -42,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	rep := compare(baseDoc, newDoc, *threshold, *minNs)
+	rep := compare(baseDoc, newDoc, *threshold, *minNs, *allocThreshold)
 	if err := rep.write(os.Stdout, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)

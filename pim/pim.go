@@ -281,8 +281,16 @@ func runPlanned(plan *core.WearPlan, b *Benchmark, rc RunConfig, s Strategy, tec
 		return nil, err
 	}
 	st := plan.Stats()
+	// One fused pass over the distribution supplies both the lifetime
+	// model's max-per-iteration and the imbalance factor (the separate
+	// MaxPerIteration + MaxOverMean calls each rescanned the counts).
+	sum := stats.Summarize(dist.Counts)
+	maxPerIter := 0.0
+	if dist.Iterations > 0 {
+		maxPerIter = float64(sum.Max) / float64(dist.Iterations)
+	}
 	model := lifetime.Model{Endurance: tech.Endurance, StepSeconds: tech.SwitchSeconds}
-	lt, err := model.Estimate(dist.MaxPerIteration(), st.Steps)
+	lt, err := model.Estimate(maxPerIter, st.Steps)
 	if err != nil {
 		return nil, err
 	}
@@ -290,10 +298,10 @@ func runPlanned(plan *core.WearPlan, b *Benchmark, rc RunConfig, s Strategy, tec
 		Benchmark:             b.Name,
 		Strategy:              s,
 		Dist:                  dist,
-		MaxWritesPerIteration: dist.MaxPerIteration(),
+		MaxWritesPerIteration: maxPerIter,
 		Utilization:           st.Utilization,
 		Lifetime:              lt,
-		Imbalance:             stats.MaxOverMean(dist.Counts),
+		Imbalance:             sum.MaxOverMean(),
 	}
 	if sampler != nil {
 		res.Wear = sampler.Series()
