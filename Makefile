@@ -9,7 +9,7 @@ GO ?= go
 # API + instrumented engine layers). Enforced by `make doclint`.
 DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool ./internal/serve ./internal/system ./internal/device
 
-.PHONY: all build vet test race race-obs race-core race-serve race-system bench bench-alloc bench-json bench-current benchdiff report ci doclint
+.PHONY: all build vet test race race-obs race-core race-serve race-system bench bench-alloc bench-json bench-current benchdiff report ci doclint promlint
 
 all: build
 
@@ -53,6 +53,14 @@ race-system:
 # rule stand-in, zero dependencies).
 doclint:
 	$(GO) run ./internal/tools/doclint $(DOC_PKGS)
+
+# Metrics-lint: self-test the repository's Prometheus exposition —
+# every family needs # HELP/# TYPE, names must stay in the metric-name
+# alphabet, histogram buckets must be cumulative and close at an
+# le="+Inf" equal to _count. Point it at a live server with
+# `go run ./internal/tools/promlint -target http://localhost:8090`.
+promlint:
+	$(GO) run ./internal/tools/promlint
 
 # One benchmark pass; BenchmarkHwEngine/speedup reports the parallel +
 # memoized engine's gain over the serial reference as `speedup_x`, and
@@ -113,4 +121,4 @@ report:
 # serving-throughput pair included, timing and allocs/op both — against
 # the committed baseline: advisory locally, strict when
 # BENCHDIFF_FLAGS=-strict.
-ci: vet doclint race-obs race-core race-serve race-system race bench bench-alloc benchdiff
+ci: vet doclint promlint race-obs race-core race-serve race-system race bench bench-alloc benchdiff

@@ -862,6 +862,12 @@ func BenchmarkServeSweep(b *testing.B) {
 			b.StopTimer()
 			hits := obs.GetCounter("serve.cache_hits").Value()
 			b.ReportMetric(float64(hits)/float64(b.N), "cache_hit_rate")
+			// Tail latency of the serving path itself, from the server's
+			// serve.job histogram — this lands in BENCH_engine.json so
+			// benchdiff gates p99 alongside throughput.
+			if h := obs.GetDurationHistogram("serve.job"); h.Count() > 0 {
+				b.ReportMetric(h.Quantile(0.99)*1000, "p99_ms")
+			}
 		})
 	}
 }

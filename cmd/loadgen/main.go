@@ -1,11 +1,16 @@
 // Command loadgen drives a pimserve instance with a configurable storm
 // of concurrent sweep requests and reports what came back: clean 202s,
-// coalesced submissions, shed 429s, dropped connections, end-to-end
-// latency percentiles, sustained request throughput, and the server's
-// WearPlan cache-hit delta scraped from /metrics. It is the acceptance
-// harness for the serving layer — "N concurrent requests, zero dropped
-// connections, shed requests get clean 429s" is checked here against a
-// live server.
+// coalesced submissions, shed 429s, dropped connections, client-side
+// submit-latency percentiles (p50/p95/p99/max), the server-reported
+// queue-wait vs compute breakdown of every finished job, sustained
+// request throughput, and the server's WearPlan cache-hit delta scraped
+// from /metrics. When the server exposes the structured event log
+// (/events), loadgen additionally cross-checks the server's admission
+// arithmetic — admit, coalesce and reject record deltas — against its
+// own client-side tallies, exactly. It is the acceptance harness for
+// the serving layer: "N concurrent requests, zero dropped connections,
+// shed requests get clean 429s, server log balances the client's counts"
+// is checked here against a live server.
 //
 // Example (against `pimserve -serve localhost:8090`):
 //
@@ -60,6 +65,8 @@ func main() {
 
 	hitsBefore, _ := scrapeMetric(client, *target, "serve_cache_hits")
 	missesBefore, _ := scrapeMetric(client, *target, "serve_cache_misses")
+	logDroppedBefore, _ := scrapeMetric(client, *target, "obs_log_dropped_total")
+	eventsBefore, eventsErr := eventCounts(client, *target)
 
 	var accepted, coalesced, shed, other, dropped atomic.Int64
 	latencies := make([]time.Duration, *requests)
@@ -122,18 +129,23 @@ func main() {
 	for id := range jobs {
 		unique[id] = true
 	}
+	var breakdowns []jobBreakdown
 	if *wait {
 		for id := range unique {
-			if err := pollDone(client, *target, id); err != nil {
+			bd, err := pollDone(client, *target, id)
+			if err != nil {
 				log.Printf("job %s: %v", id, err)
 				other.Add(1)
+				continue
 			}
+			breakdowns = append(breakdowns, bd)
 		}
 	}
 	totalWall := time.Since(start)
 
 	hitsAfter, hitsErr := scrapeMetric(client, *target, "serve_cache_hits")
 	missesAfter, _ := scrapeMetric(client, *target, "serve_cache_misses")
+	logDroppedAfter, _ := scrapeMetric(client, *target, "obs_log_dropped_total")
 
 	sort.Slice(latencies, func(i, k int) bool { return latencies[i] < latencies[k] })
 	pct := func(q float64) time.Duration {
@@ -149,43 +161,112 @@ func main() {
 	if *wait {
 		fmt.Printf("end-to-end wall     %.2fs (all accepted jobs finished)\n", totalWall.Seconds())
 	}
-	fmt.Printf("submit latency      p50 %v  p99 %v  max %v\n", pct(0.50), pct(0.99), pct(1))
+	fmt.Printf("submit latency      p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50), pct(0.95), pct(0.99), pct(1))
+	if len(breakdowns) > 0 {
+		printBreakdown(breakdowns)
+	}
 	if hitsErr == nil {
 		fmt.Printf("plan cache          +%d hits, +%d misses during the storm\n",
 			hitsAfter-hitsBefore, missesAfter-missesBefore)
 	}
-	if dropped.Load() > 0 || other.Load() > 0 {
+
+	failed := dropped.Load() > 0 || other.Load() > 0
+	if eventsErr == nil {
+		eventsAfter, err := eventCounts(client, *target)
+		switch {
+		case err != nil:
+			log.Printf("event log recheck failed: %v", err)
+		case logDroppedAfter > logDroppedBefore:
+			fmt.Printf("event log           skipped the balance check (%d records dropped by the bounded ring)\n",
+				logDroppedAfter-logDroppedBefore)
+		default:
+			admits := eventsAfter["serve.admit"] - eventsBefore["serve.admit"]
+			coals := eventsAfter["serve.coalesce"] - eventsBefore["serve.coalesce"]
+			rejects := eventsAfter["serve.reject"] - eventsBefore["serve.reject"]
+			fmt.Printf("event log           +%d admit, +%d coalesce, +%d reject records\n", admits, coals, rejects)
+			if admits != accepted.Load()-coalesced.Load() || coals != coalesced.Load() || rejects != shed.Load() {
+				log.Printf("FAIL: server event log does not balance the client tallies "+
+					"(want admit %d, coalesce %d, reject %d)",
+					accepted.Load()-coalesced.Load(), coalesced.Load(), shed.Load())
+				failed = true
+			}
+		}
+	}
+
+	if failed {
 		log.Fatalf("FAIL: %d dropped connections, %d unexpected statuses", dropped.Load(), other.Load())
 	}
 	fmt.Println("PASS: every request got a clean 202 or 429")
 }
 
-// pollDone waits for one job to reach a terminal state.
-func pollDone(client *http.Client, base, id string) error {
+// jobBreakdown is one finished job's server-reported latency split.
+type jobBreakdown struct {
+	queue, compute, total time.Duration
+}
+
+// printBreakdown reports percentiles of the server-side queue-wait vs
+// compute split across the storm's unique jobs.
+func printBreakdown(bds []jobBreakdown) {
+	pick := func(sel func(jobBreakdown) time.Duration) []time.Duration {
+		out := make([]time.Duration, len(bds))
+		for i, bd := range bds {
+			out[i] = sel(bd)
+		}
+		sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+		return out
+	}
+	pct := func(s []time.Duration, q float64) time.Duration {
+		return s[int(q*float64(len(s)-1))]
+	}
+	for _, row := range []struct {
+		name string
+		sel  func(jobBreakdown) time.Duration
+	}{
+		{"job queue wait", func(b jobBreakdown) time.Duration { return b.queue }},
+		{"job compute", func(b jobBreakdown) time.Duration { return b.compute }},
+		{"job total", func(b jobBreakdown) time.Duration { return b.total }},
+	} {
+		s := pick(row.sel)
+		fmt.Printf("%-19s p50 %v  p95 %v  p99 %v  max %v\n",
+			row.name, pct(s, 0.50), pct(s, 0.95), pct(s, 0.99), pct(s, 1))
+	}
+}
+
+// pollDone waits for one job to reach a terminal state and returns its
+// server-reported latency breakdown.
+func pollDone(client *http.Client, base, id string) (jobBreakdown, error) {
 	deadline := time.Now().Add(5 * time.Minute)
 	for time.Now().Before(deadline) {
 		resp, err := client.Get(base + "/jobs/" + id)
 		if err != nil {
-			return err
+			return jobBreakdown{}, err
 		}
 		var st struct {
-			State string `json:"state"`
-			Error string `json:"error"`
+			State     string `json:"state"`
+			Error     string `json:"error"`
+			QueueMS   int64  `json:"queue_ms"`
+			ComputeMS int64  `json:"compute_ms"`
+			TotalMS   int64  `json:"total_ms"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()
 		if err != nil {
-			return err
+			return jobBreakdown{}, err
 		}
 		switch st.State {
 		case "done":
-			return nil
+			return jobBreakdown{
+				queue:   time.Duration(st.QueueMS) * time.Millisecond,
+				compute: time.Duration(st.ComputeMS) * time.Millisecond,
+				total:   time.Duration(st.TotalMS) * time.Millisecond,
+			}, nil
 		case "failed", "canceled":
-			return fmt.Errorf("finished %s: %s", st.State, st.Error)
+			return jobBreakdown{}, fmt.Errorf("finished %s: %s", st.State, st.Error)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	return fmt.Errorf("timed out")
+	return jobBreakdown{}, fmt.Errorf("timed out")
 }
 
 // scrapeMetric pulls one counter value from the server's Prometheus
@@ -212,4 +293,32 @@ func scrapeMetric(client *http.Client, base, name string) (int64, error) {
 		return 0, err
 	}
 	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// eventCounts tallies the server's structured event log by event name
+// (GET /events?n=0 returns everything the ring holds as JSON Lines).
+// An error means the endpoint is absent or the log is off — the caller
+// then skips the balance check.
+func eventCounts(client *http.Client, base string) (map[string]int64, error) {
+	resp, err := client.Get(base + "/events?n=0")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/events returned %d", resp.StatusCode)
+	}
+	counts := map[string]int64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("/events line not JSON: %w", err)
+		}
+		counts[rec.Event]++
+	}
+	return counts, sc.Err()
 }

@@ -3,15 +3,21 @@
 // GET /jobs/<id> from internal/serve. Clients submit named benchmarks
 // with a pim.RunConfig as JSON, poll job ids for per-epoch progress,
 // and repeated or identical requests are answered from the WearPlan
-// cache and coalesced onto one execution. The process serves until
+// cache and coalesced onto one execution. Every accepted job carries a
+// trace id: GET /jobs/<id>/trace returns that job's Chrome trace slice,
+// GET /events tails the structured admission log as JSON Lines, and
+// GET /dashboard serves a self-refreshing HTML view of queue depth,
+// latency histograms and counter sparklines. The process serves until
 // SIGINT/SIGTERM, then drains gracefully and writes the usual manifest
-// and metrics artifacts.
+// and metrics artifacts (including the event log as events_pimserve.jsonl).
 //
 // Example:
 //
 //	pimserve -serve localhost:8090 -workers 8 -queue 64 &
 //	curl -s -X POST localhost:8090/sweep -d '{"benchmark":"mult","bits":8}'
 //	curl -s localhost:8090/jobs/j000001
+//	curl -s localhost:8090/jobs/j000001/trace
+//	curl -s 'localhost:8090/events?n=100'
 package main
 
 import (
@@ -58,7 +64,7 @@ func main() {
 		MaxIterations: *maxIters,
 	})
 	srv.Mount(obs.Handle)
-	log.Printf("serving on http://%s (POST /sweep, POST /run, GET /jobs/<id>, GET /metrics)", run.ServeBound())
+	log.Printf("serving on http://%s (POST /sweep, POST /run, GET /jobs/<id>[/trace], GET /metrics, GET /events, GET /dashboard)", run.ServeBound())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -13,9 +13,10 @@ import (
 )
 
 // Run bundles the observability lifecycle every CLI shares: the -pprof,
-// -metrics, -serve and -trace flags, enabling the layer (and the span
-// event ring) for the process, serving live telemetry, and emitting the
-// run manifest plus trace/series artifacts. Usage:
+// -metrics, -serve, -trace and -events flags, enabling the layer (and
+// the span-event ring and structured log) for the process, serving live
+// telemetry, and emitting the run manifest plus trace/series/event-log
+// artifacts. Usage:
 //
 //	run := obs.NewRun("pimsim", flag.CommandLine)
 //	flag.Parse()
@@ -37,6 +38,10 @@ type Run struct {
 	// Chrome trace_event export to out/trace_<cmd>.json (set by -trace,
 	// default on).
 	Trace bool
+	// Events enables the structured JSONL event log and makes Finish
+	// write out/events_<cmd>.jsonl when any records were logged (set by
+	// -events, default on). The log feeds the -serve /events endpoint.
+	Events bool
 
 	manifest  *Manifest
 	pprofLn   net.Listener
@@ -45,14 +50,15 @@ type Run struct {
 }
 
 // NewRun creates the lifecycle for the named command and registers the
-// -pprof, -metrics, -serve and -trace flags on fs (pass flag.CommandLine
-// for whole-process CLIs, or a subcommand's FlagSet).
+// -pprof, -metrics, -serve, -trace and -events flags on fs (pass
+// flag.CommandLine for whole-process CLIs, or a subcommand's FlagSet).
 func NewRun(cmd string, fs *flag.FlagSet) *Run {
 	r := &Run{manifest: NewManifest(cmd)}
 	fs.StringVar(&r.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.BoolVar(&r.Metrics, "metrics", false, "print the observability counter/stage table at exit")
-	fs.StringVar(&r.ServeAddr, "serve", "", "serve live telemetry (/metrics, /healthz, /series, /wear.png) on this address (e.g. localhost:8090)")
+	fs.StringVar(&r.ServeAddr, "serve", "", "serve live telemetry (/metrics, /healthz, /series, /events, /dashboard, /wear.png) on this address (e.g. localhost:8090)")
 	fs.BoolVar(&r.Trace, "trace", true, "record span begin/end events and write out/trace_<cmd>.json (Chrome trace_event format)")
+	fs.BoolVar(&r.Events, "events", true, "record structured events and write out/events_<cmd>.jsonl (JSON Lines)")
 	return r
 }
 
@@ -64,6 +70,9 @@ func (r *Run) Start() error {
 	Enable()
 	if r.Trace {
 		EnableEvents(DefaultEventCapacity)
+	}
+	if r.Events {
+		EnableLog(DefaultLogCapacity)
 	}
 	if r.PprofAddr != "" {
 		mux := http.NewServeMux()
@@ -145,6 +154,14 @@ func (r *Run) Finish(outDir string, config map[string]any, seed int64, w io.Writ
 		path := filepath.Join(outDir, "trace_"+r.manifest.Command+".json")
 		if err := writeFileAtomic(path, WriteTrace); err != nil {
 			return fmt.Errorf("obs: writing trace: %w", err)
+		}
+	}
+	if r.Events && CaptureLogStats().Recorded > 0 {
+		path := filepath.Join(outDir, "events_"+r.manifest.Command+".jsonl")
+		if err := writeFileAtomic(path, func(w io.Writer) error {
+			return WriteLogJSONL(w, 0)
+		}); err != nil {
+			return fmt.Errorf("obs: writing event log: %w", err)
 		}
 	}
 	for _, s := range AllSeries() {

@@ -1,0 +1,178 @@
+package obs
+
+// dashboardHTML is the self-contained live dashboard served at
+// /dashboard on the -serve telemetry listener. It carries no external
+// assets — inline CSS and vanilla JS on <canvas> — and renders purely
+// from the two endpoints the server already exposes: /metrics
+// (Prometheus text, parsed client-side) and /series (JSON). Panels:
+// stat tiles (queue depth, jobs, cache hit rate, latency quantiles),
+// the serve.job_seconds latency histogram as a log-bucket bar chart,
+// and one sparkline per registered series column (per-bank wear
+// trajectories when a sampled run is live).
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>pimendure dashboard</title>
+<style>
+  body { margin: 0; background: #111418; color: #d8dee4; font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace; }
+  h1 { font-size: 15px; margin: 14px 16px 4px; font-weight: 600; }
+  h1 small { color: #7d8590; font-weight: 400; }
+  h2 { font-size: 12px; margin: 18px 16px 6px; color: #7d8590; text-transform: uppercase; letter-spacing: .08em; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 10px 16px; }
+  .tile { background: #1b2026; border: 1px solid #2b3138; border-radius: 6px; padding: 8px 14px; min-width: 120px; }
+  .tile .v { font-size: 20px; font-weight: 600; color: #e6edf3; }
+  .tile .k { color: #7d8590; font-size: 11px; }
+  canvas { background: #1b2026; border: 1px solid #2b3138; border-radius: 6px; display: block; margin: 6px 16px; }
+  .spark-row { display: flex; align-items: center; gap: 10px; margin: 4px 16px; }
+  .spark-row .lbl { width: 340px; overflow: hidden; text-overflow: ellipsis; white-space: nowrap; color: #9da7b1; }
+  .spark-row canvas { margin: 0; }
+  #err { color: #f85149; margin: 4px 16px; min-height: 1.2em; }
+</style>
+</head>
+<body>
+<h1>pimendure <small id="meta">connecting…</small></h1>
+<div id="err"></div>
+<div class="tiles" id="tiles"></div>
+<h2>request latency — serve_job_seconds (log buckets)</h2>
+<canvas id="hist" width="960" height="160"></canvas>
+<h2>series sparklines (per-bank wear when sampling is live)</h2>
+<div id="sparks"></div>
+<script>
+"use strict";
+// parseProm parses Prometheus text exposition into {scalars, hists}.
+// Histogram families collect {le, cum} bucket lists plus sum/count.
+function parseProm(text) {
+  const scalars = {}, hists = {};
+  for (const line of text.split("\n")) {
+    if (!line || line[0] === "#") continue;
+    const sp = line.lastIndexOf(" ");
+    if (sp < 0) continue;
+    const key = line.slice(0, sp), val = parseFloat(line.slice(sp + 1));
+    const br = key.indexOf("{");
+    if (br < 0) { scalars[key] = val; continue; }
+    const name = key.slice(0, br);
+    const m = /le="([^"]+)"/.exec(key.slice(br));
+    if (m && name.endsWith("_bucket")) {
+      const fam = name.slice(0, -"_bucket".length);
+      (hists[fam] = hists[fam] || []).push({ le: m[1] === "+Inf" ? Infinity : parseFloat(m[1]), cum: val });
+    }
+  }
+  return { scalars, hists };
+}
+// quantile estimates q from a cumulative log-bucket list.
+function quantile(buckets, count, q) {
+  if (!buckets || !count) return NaN;
+  const target = q * count;
+  let prevCum = 0, prevLE = 0;
+  for (const b of buckets) {
+    if (b.cum >= target) {
+      const inBucket = b.cum - prevCum;
+      const lo = prevLE, hi = b.le === Infinity ? prevLE * 2 || 1 : b.le;
+      if (inBucket <= 0) return hi;
+      return lo + (hi - lo) * (target - prevCum) / inBucket;
+    }
+    prevCum = b.cum; prevLE = b.le === Infinity ? prevLE : b.le;
+  }
+  return prevLE;
+}
+function fmtDur(s) {
+  if (!isFinite(s)) return "–";
+  if (s < 1e-3) return (s * 1e6).toFixed(0) + "µs";
+  if (s < 1) return (s * 1e3).toFixed(1) + "ms";
+  return s.toFixed(2) + "s";
+}
+function tile(k, v) { return '<div class="tile"><div class="v">' + v + '</div><div class="k">' + k + "</div></div>"; }
+function drawHist(buckets) {
+  const cv = document.getElementById("hist"), g = cv.getContext("2d");
+  g.clearRect(0, 0, cv.width, cv.height);
+  if (!buckets || !buckets.length) return;
+  // de-cumulate into per-bucket counts
+  const bars = []; let prev = 0;
+  for (const b of buckets) { bars.push({ le: b.le, n: b.cum - prev }); prev = b.cum; }
+  const max = Math.max(...bars.map(b => b.n), 1);
+  const bw = Math.min(60, (cv.width - 20) / bars.length);
+  bars.forEach((b, i) => {
+    const h = Math.round((cv.height - 30) * b.n / max);
+    g.fillStyle = "#3fb950";
+    g.fillRect(10 + i * bw, cv.height - 18 - h, bw - 3, h);
+    g.fillStyle = "#7d8590"; g.font = "9px monospace"; g.textAlign = "center";
+    g.fillText(b.le === Infinity ? "+Inf" : fmtDur(b.le), 10 + i * bw + bw / 2, cv.height - 6);
+    if (b.n) g.fillText(String(b.n), 10 + i * bw + bw / 2, cv.height - 22 - h);
+  });
+}
+function spark(cv, vals) {
+  const g = cv.getContext("2d");
+  g.clearRect(0, 0, cv.width, cv.height);
+  if (vals.length < 2) return;
+  const fin = vals.filter(isFinite);
+  const lo = Math.min(...fin), hi = Math.max(...fin), span = hi - lo || 1;
+  g.strokeStyle = "#58a6ff"; g.lineWidth = 1.2; g.beginPath();
+  vals.forEach((v, i) => {
+    const x = 2 + (cv.width - 4) * i / (vals.length - 1);
+    const y = cv.height - 3 - (cv.height - 6) * ((isFinite(v) ? v : lo) - lo) / span;
+    i ? g.lineTo(x, y) : g.moveTo(x, y);
+  });
+  g.stroke();
+  g.fillStyle = "#7d8590"; g.font = "9px monospace"; g.textAlign = "left";
+  g.fillText(hi.toPrecision(3), 2, 9);
+}
+let sparkCanvases = {};
+async function refresh() {
+  const err = document.getElementById("err");
+  try {
+    const [mText, series] = await Promise.all([
+      fetch("/metrics").then(r => r.text()),
+      fetch("/series").then(r => r.json()),
+    ]);
+    const { scalars, hists } = parseProm(mText);
+    const jb = hists["serve_job_seconds"];
+    const jobCount = scalars["serve_job_seconds_count"] || 0;
+    const hits = scalars["serve_cache_hits"] || 0, misses = scalars["serve_cache_misses"] || 0;
+    const hitRate = hits + misses ? (100 * hits / (hits + misses)).toFixed(1) + "%" : "–";
+    document.getElementById("tiles").innerHTML =
+      tile("queue depth (max)", scalars["serve_queue_depth"] ?? 0) +
+      tile("jobs accepted", scalars["serve_jobs_accepted"] ?? 0) +
+      tile("jobs completed", scalars["serve_jobs_completed"] ?? 0) +
+      tile("shed (429)", scalars["serve_jobs_shed"] ?? 0) +
+      tile("coalesced", scalars["serve_jobs_coalesced"] ?? 0) +
+      tile("cache hit rate", hitRate) +
+      tile("p50 latency", fmtDur(quantile(jb, jobCount, 0.5))) +
+      tile("p99 latency", fmtDur(quantile(jb, jobCount, 0.99)));
+    drawHist(jb);
+    const sparks = document.getElementById("sparks");
+    const seen = new Set();
+    for (const s of series.slice(0, 24)) {
+      s.columns.forEach((col, ci) => {
+        const key = s.name + "·" + col;
+        seen.add(key);
+        let cv = sparkCanvases[key];
+        if (!cv) {
+          const row = document.createElement("div");
+          row.className = "spark-row";
+          row.innerHTML = '<span class="lbl">' + key + "</span>";
+          cv = document.createElement("canvas");
+          cv.width = 420; cv.height = 34;
+          row.appendChild(cv);
+          sparks.appendChild(row);
+          sparkCanvases[key] = cv;
+        }
+        spark(cv, s.samples.map(r => r[ci]));
+      });
+    }
+    for (const key in sparkCanvases) {
+      if (!seen.has(key)) { sparkCanvases[key].parentNode.remove(); delete sparkCanvases[key]; }
+    }
+    document.getElementById("meta").textContent =
+      "live · " + new Date().toLocaleTimeString() + " · " + series.length + " series";
+    err.textContent = "";
+  } catch (e) {
+    err.textContent = "refresh failed: " + e;
+  }
+  setTimeout(refresh, 1000);
+}
+refresh();
+</script>
+</body>
+</html>
+`

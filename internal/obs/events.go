@@ -36,6 +36,10 @@ type Event struct {
 	TS int64
 	// TID is the goroutine id the event was emitted from.
 	TID int64
+	// Trace is the trace id bound to the emitting goroutine at emission
+	// time ("" outside any traced job) — the filter key behind
+	// TraceEventsFor and the serving layer's /jobs/<id>/trace endpoint.
+	Trace string
 }
 
 // EventStats summarizes the ring for manifests and /metrics: how many
@@ -123,13 +127,14 @@ func recordEvent(ph byte, name string, tid int64) {
 		return
 	}
 	now := time.Now()
+	trace := traceFor(tid) // before taking events.mu: keeps the ring's critical section copy-only
 	events.mu.Lock()
 	if !events.on || len(events.buf) == 0 {
 		events.mu.Unlock()
 		return
 	}
 	ts := now.Sub(events.epoch).Nanoseconds()
-	events.buf[events.head%uint64(len(events.buf))] = Event{Name: name, Ph: ph, TS: ts, TID: tid}
+	events.buf[events.head%uint64(len(events.buf))] = Event{Name: name, Ph: ph, TS: ts, TID: tid, Trace: trace}
 	events.head++
 	events.mu.Unlock()
 }
@@ -180,14 +185,30 @@ func TraceEvents() []Event {
 	return out
 }
 
+// TraceEventsFor snapshots the ring filtered to one trace id, oldest
+// first — the full span history of a single serving-layer job.
+func TraceEventsFor(trace string) []Event {
+	all := TraceEvents()
+	out := make([]Event, 0, 16)
+	for _, ev := range all {
+		if ev.Trace == trace {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
 // traceEvent is the Chrome trace_event JSON shape of one Event. Ts is in
 // microseconds as the format requires; pid is constant (one process).
+// Args carries the trace id so a job's events are filterable in
+// Perfetto/chrome://tracing ("args.trace" query).
 type traceEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Pid  int     `json:"pid"`
-	Tid  int64   `json:"tid"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // traceDoc is the JSON object WriteTrace emits — the "JSON Object
@@ -203,16 +224,30 @@ type traceDoc struct {
 // versa) may appear unpaired; trace viewers tolerate this, closing open
 // slices at the end of the capture.
 func WriteTrace(w io.Writer) error {
-	evs := TraceEvents()
+	return writeTraceDoc(w, TraceEvents())
+}
+
+// WriteTraceFor exports only the events stamped with the given trace id
+// — one job's lifecycle as a standalone Chrome trace document, the
+// payload behind the serving layer's /jobs/<id>/trace endpoint.
+func WriteTraceFor(w io.Writer, trace string) error {
+	return writeTraceDoc(w, TraceEventsFor(trace))
+}
+
+func writeTraceDoc(w io.Writer, evs []Event) error {
 	doc := traceDoc{TraceEvents: make([]traceEvent, len(evs)), DisplayTimeUnit: "ms"}
 	for i, ev := range evs {
-		doc.TraceEvents[i] = traceEvent{
+		te := traceEvent{
 			Name: ev.Name,
 			Ph:   string(ev.Ph),
 			Ts:   float64(ev.TS) / 1e3,
 			Pid:  1,
 			Tid:  ev.TID,
 		}
+		if ev.Trace != "" {
+			te.Args = map[string]any{"trace": ev.Trace}
+		}
+		doc.TraceEvents[i] = te
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(doc); err != nil {

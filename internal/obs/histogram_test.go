@@ -1,0 +1,248 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pimendure/internal/obs"
+)
+
+// Histograms must be exact under concurrent hammering: count and sum are
+// plain atomic adds, and every recorded value must land in exactly one
+// bucket, so the bucket totals conserve the count.
+func TestHistogramConcurrentAccuracy(t *testing.T) {
+	withObs(t, func() {
+		h := obs.GetHistogram("hist.test.concurrent")
+		workers := runtime.GOMAXPROCS(0)
+		const perWorker = 10_000
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					h.Observe(int64(w*perWorker + i))
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		n := int64(workers * perWorker)
+		if got := h.Count(); got != n {
+			t.Errorf("Count = %d, want %d", got, n)
+		}
+		// Sum of 0..n-1 = n(n-1)/2.
+		wantSum := float64(n) * float64(n-1) / 2
+		if got := h.Sum(); got != wantSum {
+			t.Errorf("Sum = %g, want %g", got, wantSum)
+		}
+		var bucketTotal int64
+		for _, b := range h.Snapshot().Buckets {
+			bucketTotal += b.Count
+		}
+		if bucketTotal != n {
+			t.Errorf("bucket totals = %d, want %d (every value in exactly one bucket)", bucketTotal, n)
+		}
+	})
+}
+
+// Disabled, Observe must record nothing — the one-atomic-load fast path
+// that keeps histograms free in non-observed runs.
+func TestHistogramDisabledNoOp(t *testing.T) {
+	obs.Reset()
+	obs.Disable()
+	t.Cleanup(obs.Reset)
+	h := obs.GetHistogram("hist.test.disabled")
+	h.Observe(42)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("disabled histogram recorded: count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(7) }); allocs != 0 {
+		t.Errorf("disabled Observe allocates %g times per call", allocs)
+	}
+}
+
+// Negative values clamp to zero (bucket 0) instead of corrupting the
+// sum or indexing out of range.
+func TestHistogramNegativeClamp(t *testing.T) {
+	withObs(t, func() {
+		h := obs.GetHistogram("hist.test.negative")
+		h.Observe(-5)
+		if got := h.Count(); got != 1 {
+			t.Fatalf("Count = %d, want 1", got)
+		}
+		if got := h.Sum(); got != 0 {
+			t.Errorf("Sum = %g, want 0 (negative clamps)", got)
+		}
+		s := h.Snapshot()
+		if len(s.Buckets) != 1 || s.Buckets[0].LE != 0 {
+			t.Errorf("buckets = %+v, want one zero bucket", s.Buckets)
+		}
+	})
+}
+
+// Quantile interpolates within log buckets: with values 1..1000 the
+// estimates must land within one bucket (a factor of two) of the truth.
+func TestHistogramQuantile(t *testing.T) {
+	withObs(t, func() {
+		h := obs.GetHistogram("hist.test.quantile")
+		for v := int64(1); v <= 1000; v++ {
+			h.Observe(v)
+		}
+		for _, tc := range []struct{ q, want float64 }{{0.5, 500}, {0.99, 990}, {1, 1000}} {
+			got := h.Quantile(tc.q)
+			if got < tc.want/2 || got > tc.want*2 {
+				t.Errorf("Quantile(%g) = %g, want within 2x of %g", tc.q, got, tc.want)
+			}
+		}
+		if got := h.Quantile(0); got != 0 {
+			// rank 0 resolves inside the first bucket, whose low bound is ≤ 1
+			if got > 1 {
+				t.Errorf("Quantile(0) = %g, want ≤ 1", got)
+			}
+		}
+	})
+}
+
+// A duration histogram records nanoseconds and exports seconds: the
+// exposition family carries the _seconds suffix and the sum is scaled.
+func TestDurationHistogramExposition(t *testing.T) {
+	withObs(t, func() {
+		h := obs.GetDurationHistogram("hist.test.lat")
+		h.ObserveDuration(2 * time.Second)
+		if got := h.Sum(); got != 2 {
+			t.Errorf("Sum = %g, want 2 (seconds)", got)
+		}
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{
+			"# TYPE hist_test_lat_seconds histogram",
+			"hist_test_lat_seconds_sum 2",
+			"hist_test_lat_seconds_count 1",
+			`hist_test_lat_seconds_bucket{le="+Inf"} 1`,
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("exposition missing %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+// Exposition buckets must be cumulative and non-decreasing, closing at
+// +Inf with the exact count — the contract promlint gates in CI.
+func TestHistogramExpositionCumulative(t *testing.T) {
+	withObs(t, func() {
+		h := obs.GetHistogram("hist.test.cumulative")
+		for _, v := range []int64{1, 3, 3, 10, 100, 5000} {
+			h.Observe(v)
+		}
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		closing := false
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if !strings.HasPrefix(line, "hist_test_cumulative_bucket{") {
+				continue
+			}
+			var cum float64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &cum); err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+			if cum < prev {
+				t.Errorf("bucket counts decrease at %q (prev %g)", line, prev)
+			}
+			prev = cum
+			if strings.Contains(line, `le="+Inf"`) {
+				closing = true
+				if cum != 6 {
+					t.Errorf("+Inf bucket = %g, want 6 (the count)", cum)
+				}
+			}
+		}
+		if !closing {
+			t.Error("no le=\"+Inf\" closing bucket in the exposition")
+		}
+	})
+}
+
+// Histogram snapshots must round-trip through the manifest JSON with
+// count, sum and buckets intact, and timers must surface as stage
+// entries alongside them.
+func TestHistogramManifestRoundTrip(t *testing.T) {
+	withObs(t, func() {
+		h := obs.GetHistogram("hist.test.manifest")
+		for _, v := range []int64{1, 2, 4, 8, 1000} {
+			h.Observe(v)
+		}
+		m := obs.NewManifest("histtest")
+		m.Finish()
+		dir := t.TempDir()
+		if err := m.WriteFile(dir); err != nil {
+			t.Fatal(err)
+		}
+		back, err := obs.ReadManifest(m.Path(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap *obs.HistogramSnapshot
+		for i := range back.Histograms {
+			if back.Histograms[i].Name == "hist.test.manifest" {
+				snap = &back.Histograms[i]
+			}
+		}
+		if snap == nil {
+			t.Fatalf("manifest lost the histogram: %+v", back.Histograms)
+		}
+		orig := h.Snapshot()
+		if snap.Count != orig.Count || snap.Sum != orig.Sum {
+			t.Errorf("round-trip count/sum = %d/%g, want %d/%g", snap.Count, snap.Sum, orig.Count, orig.Sum)
+		}
+		if len(snap.Buckets) != len(orig.Buckets) {
+			t.Fatalf("round-trip buckets = %d, want %d", len(snap.Buckets), len(orig.Buckets))
+		}
+		for i, b := range snap.Buckets {
+			if b != orig.Buckets[i] {
+				t.Errorf("bucket %d = %+v, want %+v", i, b, orig.Buckets[i])
+			}
+		}
+		if q := snap.Quantile(0.5); q <= 0 {
+			t.Errorf("snapshot Quantile(0.5) = %g, want > 0", q)
+		}
+	})
+}
+
+// Timers now carry the same log-bucket array: a stage with recorded
+// spans must export a _seconds histogram whose count matches the span
+// count, and Snapshot/manifest JSON must stay well-formed.
+func TestTimerHistogram(t *testing.T) {
+	withObs(t, func() {
+		for i := 0; i < 5; i++ {
+			sp := obs.StartSpan("hist.test.stage")
+			sp.End()
+		}
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "hist_test_stage_seconds_count 5") {
+			t.Errorf("timer histogram count missing:\n%s", out)
+		}
+		// The capture must remain JSON-encodable (buckets included).
+		if _, err := json.Marshal(obs.Capture()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLogCapacity is the structured-log ring size Run.Start allocates
+// when the log is enabled. At one record per serving-layer event
+// (admission, coalesce, rejection, completion) it holds the full history
+// of a paper-scale load storm.
+const DefaultLogCapacity = 1 << 16
+
+// LogRecord is one structured event: a wall-clock timestamp, an event
+// name ("serve.admit", "serve.complete"), the trace id of the job it
+// belongs to, and free-form fields (config fingerprint, latency
+// breakdown). Records marshal one-per-line into the JSONL artifact
+// out/events_<cmd>.jsonl and stream from the -serve /events endpoint.
+type LogRecord struct {
+	// TimeMS is the record's wall-clock time in Unix milliseconds.
+	TimeMS int64 `json:"t_ms"`
+	// Event names what happened, dotted like metric names.
+	Event string `json:"event"`
+	// Trace is the job's trace id ("" for events outside any job).
+	Trace string `json:"trace,omitempty"`
+	// Fields carries event-specific detail (fingerprint, queue_ms, ...).
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// LogStats summarizes the log ring for manifests and /metrics, mirroring
+// EventStats: total records accepted, records the bounded ring dropped
+// (oldest first), and the ring capacity.
+type LogStats struct {
+	// Recorded counts every record ever pushed since EnableLog.
+	Recorded uint64 `json:"recorded"`
+	// Dropped counts pushes that overwrote a record the ring no longer
+	// holds.
+	Dropped uint64 `json:"dropped"`
+	// Capacity is the ring size.
+	Capacity int `json:"capacity"`
+}
+
+// logRing is the process-wide structured-event log — the same bounded
+// drop-oldest design as the span-event ring, but carrying wall-clock
+// JSONL records at request granularity instead of span marks at stage
+// granularity.
+var logRing struct {
+	mu   sync.Mutex
+	on   bool
+	buf  []LogRecord
+	head uint64 // total records ever pushed
+}
+
+// logOn mirrors logRing.on so LogEvent's disabled fast path is one
+// atomic load.
+var logOn atomic.Bool
+
+// EnableLog turns structured-event recording on with a fresh ring of the
+// given capacity (≤ 0 selects DefaultLogCapacity).
+func EnableLog(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultLogCapacity
+	}
+	logRing.mu.Lock()
+	defer logRing.mu.Unlock()
+	logRing.on = true
+	logRing.buf = make([]LogRecord, capacity)
+	logRing.head = 0
+	logOn.Store(true)
+}
+
+// DisableLog stops recording; ring contents stay readable through
+// LogRecords/WriteLogJSONL until the next EnableLog.
+func DisableLog() {
+	logRing.mu.Lock()
+	defer logRing.mu.Unlock()
+	logRing.on = false
+	logOn.Store(false)
+}
+
+// LogEnabled reports whether structured-event recording is on.
+func LogEnabled() bool {
+	return logOn.Load()
+}
+
+// resetLog clears the ring contents and totals, keeping the enabled
+// state. Called from Reset so test isolation covers the log too.
+func resetLog() {
+	logRing.mu.Lock()
+	defer logRing.mu.Unlock()
+	for i := range logRing.buf {
+		logRing.buf[i] = LogRecord{}
+	}
+	logRing.head = 0
+}
+
+// CaptureLogStats returns the log ring's recorded/dropped totals.
+func CaptureLogStats() LogStats {
+	logRing.mu.Lock()
+	defer logRing.mu.Unlock()
+	s := LogStats{Recorded: logRing.head, Capacity: len(logRing.buf)}
+	if n := uint64(len(logRing.buf)); logRing.head > n {
+		s.Dropped = logRing.head - n
+	}
+	return s
+}
+
+// LogEvent records one structured event. Disabled, it is one atomic
+// load and returns before evaluating anything else, so call sites can
+// build the fields map inline without an enabled-check — but hot paths
+// that would allocate the map should gate on LogEnabled themselves.
+func LogEvent(event, trace string, fields map[string]any) {
+	if !logOn.Load() {
+		return
+	}
+	rec := LogRecord{TimeMS: time.Now().UnixMilli(), Event: event, Trace: trace, Fields: fields}
+	logRing.mu.Lock()
+	if !logRing.on || len(logRing.buf) == 0 {
+		logRing.mu.Unlock()
+		return
+	}
+	logRing.buf[logRing.head%uint64(len(logRing.buf))] = rec
+	logRing.head++
+	logRing.mu.Unlock()
+}
+
+// LogRecords snapshots the newest n records in chronological order
+// (oldest first); n ≤ 0 returns everything the ring holds.
+func LogRecords(n int) []LogRecord {
+	logRing.mu.Lock()
+	defer logRing.mu.Unlock()
+	size := uint64(len(logRing.buf))
+	if size == 0 {
+		return nil
+	}
+	count := logRing.head
+	if count > size {
+		count = size
+	}
+	if n > 0 && uint64(n) < count {
+		count = uint64(n)
+	}
+	start := logRing.head - count
+	out := make([]LogRecord, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, logRing.buf[(start+i)%size])
+	}
+	return out
+}
+
+// WriteLogJSONL writes the newest n records (n ≤ 0: all held) as JSON
+// Lines, one record per line — the format of the out/events_<cmd>.jsonl
+// artifact and the -serve /events endpoint.
+func WriteLogJSONL(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range LogRecords(n) {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

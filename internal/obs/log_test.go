@@ -1,0 +1,189 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"pimendure/internal/obs"
+)
+
+// withLog enables the structured log around fn with a given ring size.
+func withLog(t *testing.T, capacity int, fn func()) {
+	t.Helper()
+	obs.EnableLog(capacity)
+	defer func() {
+		obs.DisableLog()
+		obs.Reset()
+	}()
+	fn()
+}
+
+// Records must come back in order with fields intact, and the JSONL
+// export must hold one valid JSON object per line.
+func TestLogRecordsAndJSONL(t *testing.T) {
+	withLog(t, 16, func() {
+		obs.LogEvent("test.first", "t01", map[string]any{"k": "v"})
+		obs.LogEvent("test.second", "", nil)
+		recs := obs.LogRecords(0)
+		if len(recs) != 2 {
+			t.Fatalf("LogRecords = %d records, want 2", len(recs))
+		}
+		if recs[0].Event != "test.first" || recs[0].Trace != "t01" || recs[0].Fields["k"] != "v" {
+			t.Errorf("first record = %+v", recs[0])
+		}
+		if recs[1].Event != "test.second" || recs[1].Trace != "" {
+			t.Errorf("second record = %+v", recs[1])
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteLogJSONL(&buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(&buf)
+		lines := 0
+		for sc.Scan() {
+			var rec obs.LogRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Errorf("line %d is not JSON: %v", lines, err)
+			}
+			lines++
+		}
+		if lines != 2 {
+			t.Errorf("JSONL lines = %d, want 2", lines)
+		}
+	})
+}
+
+// The bounded ring drops oldest first and counts what it dropped.
+func TestLogDropOldest(t *testing.T) {
+	withLog(t, 4, func() {
+		for i := 0; i < 10; i++ {
+			obs.LogEvent("test.ev", "", map[string]any{"i": i})
+		}
+		st := obs.CaptureLogStats()
+		if st.Recorded != 10 || st.Dropped != 6 || st.Capacity != 4 {
+			t.Errorf("stats = %+v, want recorded 10 dropped 6 capacity 4", st)
+		}
+		recs := obs.LogRecords(0)
+		if len(recs) != 4 {
+			t.Fatalf("LogRecords = %d, want 4 (ring capacity)", len(recs))
+		}
+		// Newest four survive: i = 6..9 (fields are held as written, no
+		// JSON round-trip, so the ints compare as ints).
+		for k, rec := range recs {
+			if want := 6 + k; rec.Fields["i"] != want {
+				t.Errorf("record %d has i=%v, want %d", k, rec.Fields["i"], want)
+			}
+		}
+		if tail := obs.LogRecords(2); len(tail) != 2 || tail[1].Fields["i"] != 9 {
+			t.Errorf("LogRecords(2) = %+v, want the two newest", tail)
+		}
+	})
+}
+
+// Disabled, LogEvent must be a no-op (and must not panic with nil
+// fields); re-enabling starts a fresh ring.
+func TestLogDisabledNoOp(t *testing.T) {
+	obs.DisableLog()
+	obs.LogEvent("test.ignored", "", nil)
+	if st := obs.CaptureLogStats(); st.Recorded != 0 && len(obs.LogRecords(0)) != 0 {
+		// Recorded may be nonzero from a prior ring; the record list of a
+		// disabled, unreset log must not grow.
+		t.Errorf("disabled log grew: %+v", st)
+	}
+	withLog(t, 8, func() {
+		if st := obs.CaptureLogStats(); st.Recorded != 0 {
+			t.Errorf("fresh ring starts at recorded = %d, want 0", st.Recorded)
+		}
+	})
+}
+
+// Concurrent writers must conserve the recorded total.
+func TestLogConcurrent(t *testing.T) {
+	withLog(t, 1<<12, func() {
+		const workers, per = 8, 500
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					obs.LogEvent("test.conc", "", nil)
+				}
+			}()
+		}
+		wg.Wait()
+		if st := obs.CaptureLogStats(); st.Recorded != workers*per {
+			t.Errorf("recorded = %d, want %d", st.Recorded, workers*per)
+		}
+	})
+}
+
+// Trace bindings are per-goroutine, restore correctly when nested, and
+// propagate into span events so TraceEventsFor can filter one job out
+// of the shared ring.
+func TestTraceBinding(t *testing.T) {
+	if obs.CurrentTrace() != "" {
+		t.Fatal("goroutine starts with a trace bound")
+	}
+	restore := obs.SetTrace("t-outer")
+	if got := obs.CurrentTrace(); got != "t-outer" {
+		t.Errorf("CurrentTrace = %q, want t-outer", got)
+	}
+	inner := obs.SetTrace("t-inner")
+	if got := obs.CurrentTrace(); got != "t-inner" {
+		t.Errorf("nested CurrentTrace = %q, want t-inner", got)
+	}
+	inner()
+	if got := obs.CurrentTrace(); got != "t-outer" {
+		t.Errorf("after restore CurrentTrace = %q, want t-outer", got)
+	}
+	restore()
+	if got := obs.CurrentTrace(); got != "" {
+		t.Errorf("after outer restore CurrentTrace = %q, want empty", got)
+	}
+	if a, b := obs.NewTraceID(), obs.NewTraceID(); a == b || a == "" {
+		t.Errorf("NewTraceID not unique: %q %q", a, b)
+	}
+
+	withObs(t, func() {
+		obs.EnableEvents(256)
+		defer obs.DisableEvents()
+		done := obs.SetTrace("t-job")
+		obs.StartSpan("trace.test.stage").End()
+		done()
+		obs.StartSpan("trace.test.untraced").End()
+		evs := obs.TraceEventsFor("t-job")
+		if len(evs) != 2 {
+			t.Fatalf("TraceEventsFor = %d events, want 2 (begin+end)", len(evs))
+		}
+		for _, ev := range evs {
+			if ev.Name != "trace.test.stage" || ev.Trace != "t-job" {
+				t.Errorf("filtered event = %+v", ev)
+			}
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteTraceFor(&buf, "t-job"); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if len(doc.TraceEvents) != 2 {
+			t.Fatalf("trace doc has %d events, want 2", len(doc.TraceEvents))
+		}
+		for _, te := range doc.TraceEvents {
+			if te.Args["trace"] != "t-job" {
+				t.Errorf("trace export missing args.trace: %+v", te)
+			}
+		}
+	})
+}

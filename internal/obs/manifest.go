@@ -38,14 +38,19 @@ type Manifest struct {
 	Start       time.Time `json:"start"`
 	End         time.Time `json:"end"`
 	WallSeconds float64   `json:"wall_seconds"`
-	// Stages, Counters and Gauges are the observability snapshot at
-	// Finish time: per-stage span timings and counter/watermark totals.
-	Stages   []Stage          `json:"stages,omitempty"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Stages, Counters, Gauges and Histograms are the observability
+	// snapshot at Finish time: per-stage span timings, counter/watermark
+	// totals, and log-bucketed distribution snapshots (request latency,
+	// queue wait).
+	Stages     []Stage             `json:"stages,omitempty"`
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]int64    `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
 	// Events summarizes the span-event ring (recorded/dropped/capacity)
-	// when event recording was on during the run.
+	// when event recording was on during the run; Log does the same for
+	// the structured JSONL event log.
 	Events *EventStats `json:"events,omitempty"`
+	Log    *LogStats   `json:"log,omitempty"`
 }
 
 // NewManifest starts a manifest for the named command, stamping the
@@ -67,9 +72,12 @@ func (m *Manifest) Finish() {
 	m.End = time.Now()
 	m.WallSeconds = m.End.Sub(m.Start).Seconds()
 	s := Capture()
-	m.Stages, m.Counters, m.Gauges = s.Stages, s.Counters, s.Gauges
+	m.Stages, m.Counters, m.Gauges, m.Histograms = s.Stages, s.Counters, s.Gauges, s.Histograms
 	if es := CaptureEventStats(); es.Recorded > 0 {
 		m.Events = &es
+	}
+	if ls := CaptureLogStats(); ls.Recorded > 0 {
+		m.Log = &ls
 	}
 }
 

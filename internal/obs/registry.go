@@ -12,16 +12,18 @@ import (
 // Lookup/creation takes the mutex; the recording fast paths touch only
 // the returned struct's atomics.
 var registry = struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
-	kinds    map[string]string // name -> "counter" | "gauge" | "timer"
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+	kinds      map[string]string // name -> "counter" | "gauge" | "timer" | "histogram"
 }{
-	counters: map[string]*Counter{},
-	gauges:   map[string]*Gauge{},
-	timers:   map[string]*Timer{},
-	kinds:    map[string]string{},
+	counters:   map[string]*Counter{},
+	gauges:     map[string]*Gauge{},
+	timers:     map[string]*Timer{},
+	histograms: map[string]*Histogram{},
+	kinds:      map[string]string{},
 }
 
 // claimName records a name's kind, panicking when the name is already
@@ -97,8 +99,19 @@ func Reset() {
 		t.count.Store(0)
 		t.ns.Store(0)
 		t.maxNS.Store(0)
+		for i := range t.buckets {
+			t.buckets[i].Store(0)
+		}
+	}
+	for _, h := range registry.histograms {
+		h.count.Store(0)
+		h.sum.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
 	}
 	resetSeries()
+	resetLog()
 }
 
 // Stage is one named timer's totals inside a Snapshot or Manifest:
@@ -114,9 +127,10 @@ type Stage struct {
 // Snapshot is a point-in-time copy of the whole registry, safe to use
 // after further recording continues.
 type Snapshot struct {
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
-	Stages   []Stage          `json:"stages,omitempty"`
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]int64    `json:"gauges,omitempty"`
+	Stages     []Stage             `json:"stages,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Capture snapshots every registered counter, gauge and stage timer.
@@ -147,7 +161,13 @@ func Capture() Snapshot {
 			})
 		}
 	}
+	for _, h := range registry.histograms {
+		if h.count.Load() != 0 {
+			s.Histograms = append(s.Histograms, h.Snapshot())
+		}
+	}
 	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].Name < s.Stages[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
 
@@ -163,6 +183,17 @@ func WriteTable(w io.Writer) error {
 			d := time.Duration(st.Seconds * float64(time.Second)).Round(time.Microsecond)
 			m := time.Duration(st.MaxSeconds * float64(time.Second)).Round(time.Microsecond)
 			if _, err := fmt.Fprintf(w, "%-40s %10d %14s %14s\n", st.Name, st.Count, d, m); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Histograms) > 0 {
+		if _, err := fmt.Fprintf(w, "%-40s %10s %14s %14s %14s\n", "histogram", "count", "sum", "p50", "p99"); err != nil {
+			return err
+		}
+		for _, h := range s.Histograms {
+			if _, err := fmt.Fprintf(w, "%-40s %10d %14g %14g %14g\n",
+				h.Name, h.Count, h.Sum, h.Quantile(0.50), h.Quantile(0.99)); err != nil {
 				return err
 			}
 		}

@@ -62,6 +62,16 @@ func RemoveSeries(name string) {
 	seriesRegistry.mu.Unlock()
 }
 
+// FindSeries returns the registered series with the given name, or nil
+// when no live series holds it (never registered, or already retired by
+// RemoveSeries) — the lookup behind /series?name=, which turns the nil
+// into a clean JSON 404 instead of an empty-array 200.
+func FindSeries(name string) *Series {
+	seriesRegistry.mu.Lock()
+	defer seriesRegistry.mu.Unlock()
+	return seriesRegistry.byName[name]
+}
+
 // AllSeries returns the registered series sorted by name.
 func AllSeries() []*Series {
 	seriesRegistry.mu.Lock()

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -180,15 +181,29 @@ func buffered(w http.ResponseWriter, contentType string, render func(io.Writer) 
 	_, _ = w.Write(buf.Bytes())
 }
 
+// jsonError writes a JSON error body ({"error": msg}) with the given
+// status — keeping machine-readable 404s consistent between the obs
+// endpoints and the serving layers mounted via Handle.
+func jsonError(w http.ResponseWriter, msg string, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
 // startTelemetryServer binds addr synchronously (so a bad address fails
 // at startup) and serves the telemetry endpoints in the background:
 //
-//	/metrics   Prometheus text exposition of every registered metric
-//	/healthz   liveness probe ("ok")
-//	/series    JSON snapshot of every registered Series
-//	/wear.png  latest wear-distribution heatmap; ?name= selects among
-//	           RegisterWearPNG sources (404 until a sampled run
-//	           registers one via SetWearPNG/RegisterWearPNG)
+//	/metrics    Prometheus text exposition of every registered metric
+//	/healthz    liveness probe ("ok")
+//	/series     JSON snapshot of every registered Series; ?name=
+//	            selects one (JSON 404 when absent or already removed)
+//	/events     structured JSONL event-log tail; ?n= bounds the record
+//	            count (default 1000, ≤ 0 for everything held)
+//	/dashboard  self-contained live HTML dashboard (polls /metrics
+//	            and /series; no external assets)
+//	/wear.png   latest wear-distribution heatmap; ?name= selects among
+//	            RegisterWearPNG sources (404 until a sampled run
+//	            registers one via SetWearPNG/RegisterWearPNG)
 func startTelemetryServer(addr string) (*telemetryServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -199,8 +214,39 @@ func startTelemetryServer(addr string) (*telemetryServer, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/series", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		if name := r.URL.Query().Get("name"); name != "" {
+			s := FindSeries(name)
+			if s == nil {
+				jsonError(w, fmt.Sprintf("no series named %q (never registered, or removed)", name), http.StatusNotFound)
+				return
+			}
+			buffered(w, "application/json", func(out io.Writer) error {
+				enc := json.NewEncoder(out)
+				enc.SetIndent("", "  ")
+				return enc.Encode(s)
+			})
+			return
+		}
 		buffered(w, "application/json", WriteSeriesJSON)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 1000
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				jsonError(w, fmt.Sprintf("bad n=%q: %v", q, err), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		buffered(w, "application/x-ndjson", func(out io.Writer) error {
+			return WriteLogJSONL(out, n)
+		})
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = io.WriteString(w, dashboardHTML)
 	})
 	mux.HandleFunc("/wear.png", func(w http.ResponseWriter, r *http.Request) {
 		fn := lookupWearPNG(r.URL.Query().Get("name"))

@@ -415,14 +415,17 @@ func TestWearPNGRegistry(t *testing.T) {
 }
 
 // The exposition must be well-formed Prometheus text: HELP/TYPE pairs
-// preceding each sample, names restricted to the metric alphabet, and
-// zero-valued metrics included so an early scrape sees the full set.
+// preceding each sample, names restricted to the metric alphabet,
+// zero-valued metrics included so an early scrape sees the full set, and
+// timers exported as _seconds histogram families (cumulative le buckets
+// closed by +Inf, then _sum and _count) plus the _max_seconds gauge.
 func TestWritePrometheusFormat(t *testing.T) {
 	withObs(t, func() {
 		obs.GetCounter("prom.test.zero")
 		obs.GetCounter("prom.test.some").Add(7)
 		obs.GetGauge("prom.test.peak").Observe(9)
 		obs.StartSpan("prom.test.stage").End()
+		obs.GetHistogram("prom.test.bytes").Observe(100)
 		var buf bytes.Buffer
 		if err := obs.WritePrometheus(&buf); err != nil {
 			t.Fatal(err)
@@ -434,16 +437,22 @@ func TestWritePrometheusFormat(t *testing.T) {
 			"prom_test_zero 0",
 			"prom_test_some 7",
 			"prom_test_peak 9",
-			"# TYPE prom_test_stage_seconds_total counter",
-			"prom_test_stage_spans_total 1",
+			"# TYPE prom_test_stage_seconds histogram",
+			`prom_test_stage_seconds_bucket{le="+Inf"} 1`,
+			"prom_test_stage_seconds_count 1",
 			"# TYPE prom_test_stage_max_seconds gauge",
+			"# TYPE prom_test_bytes histogram",
+			`prom_test_bytes_bucket{le="127"} 1`,
+			"prom_test_bytes_sum 100",
 			"obs_events_recorded_total",
+			"obs_log_recorded_total",
 		} {
 			if !strings.Contains(out, want) {
 				t.Errorf("exposition missing %q:\n%s", want, out)
 			}
 		}
 		seenHelp := map[string]bool{}
+		histFamilies := map[string]bool{}
 		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
 			if strings.HasPrefix(line, "# HELP ") {
 				seenHelp[strings.Fields(line)[2]] = true
@@ -454,7 +463,11 @@ func TestWritePrometheusFormat(t *testing.T) {
 				if !seenHelp[f[2]] {
 					t.Errorf("TYPE before HELP: %s", line)
 				}
-				if f[3] != "counter" && f[3] != "gauge" {
+				switch f[3] {
+				case "counter", "gauge":
+				case "histogram":
+					histFamilies[f[2]] = true
+				default:
 					t.Errorf("bad TYPE: %s", line)
 				}
 				continue
@@ -464,13 +477,25 @@ func TestWritePrometheusFormat(t *testing.T) {
 				t.Errorf("malformed sample line: %q", line)
 				continue
 			}
-			for i := 0; i < len(f[0]); i++ {
-				c := f[0][i]
+			name := f[0]
+			if br := strings.IndexByte(name, '{'); br >= 0 {
+				// Only histogram buckets carry labels, and only le labels.
+				labels := name[br:]
+				name = name[:br]
+				if !strings.HasSuffix(name, "_bucket") || !histFamilies[strings.TrimSuffix(name, "_bucket")] {
+					t.Errorf("labeled sample outside a histogram family: %q", line)
+				}
+				if !strings.HasPrefix(labels, `{le="`) || !strings.HasSuffix(labels, `"}`) {
+					t.Errorf("malformed le label block: %q", line)
+				}
+			}
+			for i := 0; i < len(name); i++ {
+				c := name[i]
 				ok := c == '_' || c == ':' ||
 					(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
 					(c >= '0' && c <= '9' && i > 0)
 				if !ok {
-					t.Errorf("metric name %q outside the Prometheus alphabet", f[0])
+					t.Errorf("metric name %q outside the Prometheus alphabet", name)
 					break
 				}
 			}

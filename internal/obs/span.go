@@ -1,21 +1,26 @@
 package obs
 
 import (
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
 
 // Timer accumulates completed spans for one stage name: a count, the
-// summed wall time, and the longest single span (a max watermark, so a
-// 10-second outlier epoch stays visible inside an hour-long total).
-// Timers are created implicitly by StartSpan and read back through
-// Capture/WriteTable; concurrent spans (pool workers timing the same
-// stage) accumulate atomically.
+// summed wall time, the longest single span (a max watermark, so a
+// 10-second outlier epoch stays visible inside an hour-long total), and
+// a log-bucketed duration histogram — the same powers-of-two bucket
+// array as Histogram, so stage timings export as full distributions
+// (p50/p99 of an epoch, not just mean and max). Timers are created
+// implicitly by StartSpan and read back through Capture/WriteTable;
+// concurrent spans (pool workers timing the same stage) accumulate
+// atomically.
 type Timer struct {
-	name  string
-	count atomic.Int64
-	ns    atomic.Int64
-	maxNS atomic.Int64
+	name    string
+	count   atomic.Int64
+	ns      atomic.Int64
+	maxNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
 }
 
 // Name returns the stage name the timer accumulates under.
@@ -29,6 +34,24 @@ func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
 
 // Max returns the longest single completed span.
 func (t *Timer) Max() time.Duration { return time.Duration(t.maxNS.Load()) }
+
+// Histogram snapshots the timer's span-duration distribution in seconds
+// — count, sum, and the non-empty log buckets, under the exposition
+// family name "<name>_seconds".
+func (t *Timer) Histogram() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:  t.name + "_seconds",
+		Count: t.count.Load(),
+		Sum:   time.Duration(t.ns.Load()).Seconds(),
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := t.buckets[i].Load(); n != 0 {
+			_, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, HistogramBucket{LE: hi * 1e-9, Count: n})
+		}
+	}
+	return s
+}
 
 // Span is one in-flight timing of a named stage. The zero Span (what
 // StartSpan returns while the layer is disabled) is valid: End and Child
@@ -68,6 +91,7 @@ func (s Span) End() {
 	d := int64(time.Since(s.start))
 	s.t.count.Add(1)
 	s.t.ns.Add(d)
+	s.t.buckets[bits.Len64(uint64(d))].Add(1)
 	for {
 		cur := s.t.maxNS.Load()
 		if d <= cur || s.t.maxNS.CompareAndSwap(cur, d) {

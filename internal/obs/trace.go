@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Request-scoped tracing. A trace id names one unit of externally
+// visible work — a serving-layer job — and is carried across goroutines
+// so every span event the job causes (queue wait, plan build, per-
+// strategy simulation, bank fan-out) can be filtered back out of the
+// shared event ring. Go has no goroutine-local storage, so the binding
+// is an explicit map keyed by goroutine id: SetTrace binds the calling
+// goroutine, internal/pool re-binds its workers to the dispatching
+// goroutine's trace, and recordEvent stamps the binding onto each event.
+//
+// The fast path is guarded by one atomic load (activeTraces): while no
+// goroutine holds a binding — every non-serving run — CurrentTrace
+// returns "" without touching the map or computing a goroutine id.
+var traceIDs = struct {
+	mu sync.Mutex
+	m  map[int64]string
+}{m: map[int64]string{}}
+
+// activeTraces mirrors len(traceIDs.m) so the no-traces fast path is a
+// single atomic load.
+var activeTraces atomic.Int64
+
+// traceSeq feeds NewTraceID.
+var traceSeq atomic.Uint64
+
+// NewTraceID returns a fresh process-unique trace id ("t0000000000000001").
+// Serving layers assign one per admitted job.
+func NewTraceID() string {
+	return fmt.Sprintf("t%016x", traceSeq.Add(1))
+}
+
+// SetTrace binds the calling goroutine to the given trace id and returns
+// a func that restores the previous binding — use it defer-style around
+// the traced work. An empty id removes the binding. The binding is
+// per-goroutine: work handed to other goroutines is only traced when the
+// dispatcher propagates it (internal/pool does).
+func SetTrace(id string) func() {
+	g := goid()
+	traceIDs.mu.Lock()
+	prev, had := traceIDs.m[g]
+	setTraceLocked(g, id)
+	traceIDs.mu.Unlock()
+	return func() {
+		traceIDs.mu.Lock()
+		if had {
+			setTraceLocked(g, prev)
+		} else {
+			setTraceLocked(g, "")
+		}
+		traceIDs.mu.Unlock()
+	}
+}
+
+func setTraceLocked(g int64, id string) {
+	if id == "" {
+		delete(traceIDs.m, g)
+	} else {
+		traceIDs.m[g] = id
+	}
+	activeTraces.Store(int64(len(traceIDs.m)))
+}
+
+// CurrentTrace returns the trace id bound to the calling goroutine, or
+// "" when none is. With no bindings anywhere in the process this is one
+// atomic load.
+func CurrentTrace() string {
+	if activeTraces.Load() == 0 {
+		return ""
+	}
+	return traceFor(goid())
+}
+
+// traceFor looks up the binding for a known goroutine id.
+func traceFor(g int64) string {
+	if activeTraces.Load() == 0 {
+		return ""
+	}
+	traceIDs.mu.Lock()
+	id := traceIDs.m[g]
+	traceIDs.mu.Unlock()
+	return id
+}

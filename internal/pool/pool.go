@@ -86,11 +86,18 @@ func ForEachBlock(workers, n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	// Propagate the dispatcher's trace id: the spawned workers belong to
+	// the same request-scoped unit of work (trace bindings are
+	// per-goroutine, so without this the fan-out would break the trace).
+	trace := obs.CurrentTrace()
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for b := 0; b < w; b++ {
 		go func(b int) {
 			defer wg.Done()
+			if trace != "" {
+				defer obs.SetTrace(trace)()
+			}
 			fn(b*n/w, (b+1)*n/w)
 		}(b)
 	}
@@ -112,12 +119,18 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 		}
 		return
 	}
+	// Same trace propagation as ForEachBlock: workers inherit the
+	// dispatcher's request-scoped trace id.
+	trace := obs.CurrentTrace()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for slot := 0; slot < w; slot++ {
 		go func(slot int) {
 			defer wg.Done()
+			if trace != "" {
+				defer obs.SetTrace(trace)()
+			}
 			// Span per worker goroutine, not per item: the trace then
 			// shows one track per worker with the drain interval, and the
 			// per-item overhead stays off the replay hot path.

@@ -20,13 +20,24 @@ var (
 // the caller when the buffer is full. It exists for long-running
 // serving layers (accept work forever, shed under load) where ForEach's
 // run-to-completion shape does not fit.
+//
+// Each item carries the trace id bound to its submitter at TryEnqueue
+// time, and the worker that picks it up re-binds that trace around run —
+// so a job's spans stay attributed to its request even though queue
+// workers are long-lived goroutines serving many jobs.
 type Queue[T any] struct {
-	ch  chan T
+	ch  chan queued[T]
 	run func(T)
 	wg  sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
+}
+
+// queued pairs an item with the trace id captured at admission.
+type queued[T any] struct {
+	item  T
+	trace string
 }
 
 // NewQueue starts `workers` goroutines (clamped to at least 1) draining
@@ -40,19 +51,27 @@ func NewQueue[T any](workers, depth int, run func(T)) *Queue[T] {
 	if depth < 1 {
 		depth = 1
 	}
-	q := &Queue[T]{ch: make(chan T, depth), run: run}
+	q := &Queue[T]{ch: make(chan queued[T], depth), run: run}
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer q.wg.Done()
-			for item := range q.ch {
-				sp := obs.StartSpan("pool.queue.job")
-				q.run(item)
-				sp.End()
+			for qd := range q.ch {
+				q.runOne(qd)
 			}
 		}()
 	}
 	return q
+}
+
+// runOne executes one dequeued item under its submitter's trace binding.
+func (q *Queue[T]) runOne(qd queued[T]) {
+	if qd.trace != "" {
+		defer obs.SetTrace(qd.trace)()
+	}
+	sp := obs.StartSpan("pool.queue.job")
+	q.run(qd.item)
+	sp.End()
 }
 
 // TryEnqueue admits an item, or reports false without blocking when the
@@ -66,7 +85,7 @@ func (q *Queue[T]) TryEnqueue(item T) bool {
 		return false
 	}
 	select {
-	case q.ch <- item:
+	case q.ch <- queued[T]{item: item, trace: obs.CurrentTrace()}:
 		obsQueueAccepted.Add(1)
 		return true
 	default:
@@ -98,8 +117,8 @@ func (q *Queue[T]) Close() []T {
 	var drained []T
 	for {
 		select {
-		case item := <-q.ch:
-			drained = append(drained, item)
+		case qd := <-q.ch:
+			drained = append(drained, qd.item)
 			continue
 		default:
 		}

@@ -49,6 +49,16 @@ var (
 	obsQueueDepth    = obs.GetGauge("serve.queue_depth")
 )
 
+// Latency histograms, exported on /metrics as serve_job_seconds,
+// serve_queue_wait_seconds and serve_compute_seconds: the full
+// admission-to-completion distribution and its queue-wait vs compute
+// split, so a load storm's p99 is readable without client-side timing.
+var (
+	obsJobSeconds       = obs.GetDurationHistogram("serve.job")
+	obsQueueWaitSeconds = obs.GetDurationHistogram("serve.queue_wait")
+	obsComputeSeconds   = obs.GetDurationHistogram("serve.compute")
+)
+
 // Config sizes the serving layer. The zero value selects sensible
 // defaults; see each field.
 type Config struct {
@@ -136,6 +146,10 @@ type job struct {
 	fp    string
 	req   Request
 	sweep bool
+	// trace is the obs trace id assigned at admission; every span the
+	// job causes (queue pickup, engine stages, bank fan-out) is stamped
+	// with it, and GET /jobs/<id>/trace filters the event ring by it.
+	trace string
 
 	mu        sync.Mutex
 	state     string
@@ -147,6 +161,20 @@ type job struct {
 	finished  time.Time
 
 	done chan struct{}
+}
+
+// breakdownLocked splits the job's lifecycle into queue-wait (admission
+// to worker pickup), compute (pickup to finish) and total. Call with
+// j.mu held, after the relevant timestamps are set; a job canceled
+// before running reports zero queue-wait and compute.
+func (j *job) breakdownLocked() (queueWait, compute, total time.Duration) {
+	if !j.finished.IsZero() && !j.enqueued.IsZero() {
+		total = j.finished.Sub(j.enqueued)
+	}
+	if j.started.IsZero() {
+		return 0, 0, total
+	}
+	return j.started.Sub(j.enqueued), j.finished.Sub(j.started), total
 }
 
 // New creates a Server and starts its worker pool.
@@ -251,6 +279,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
 		j.mu.Unlock()
 		s.mu.Unlock()
 		obsJobsCoalesced.Add(1)
+		logServeEvent("serve.coalesce", j.trace, fp, map[string]any{"job": j.id})
 		s.accepted(w, j, true)
 		return
 	}
@@ -260,6 +289,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
 		fp:       fp,
 		req:      req,
 		sweep:    sweep,
+		trace:    obs.NewTraceID(),
 		state:    "queued",
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
@@ -267,13 +297,19 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
 	// Register and enqueue under one lock: a concurrent identical request
 	// must not coalesce onto a job that the shed path is about to retract.
 	// TryEnqueue never blocks, so holding the mutex across it is cheap.
+	// The trace binding around TryEnqueue is what the queue captures and
+	// re-binds on the worker that eventually runs the job.
 	s.jobs[j.id] = j
 	s.inflight[fp] = j
-	if !s.queue.TryEnqueue(j) {
+	restore := obs.SetTrace(j.trace)
+	admitted := s.queue.TryEnqueue(j)
+	restore()
+	if !admitted {
 		delete(s.jobs, j.id)
 		delete(s.inflight, fp)
 		s.mu.Unlock()
 		obsJobsShed.Add(1)
+		logServeEvent("serve.reject", j.trace, fp, map[string]any{"queue_depth": s.queue.Depth()})
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		httpError(w, http.StatusTooManyRequests, "queue full (%d pending); retry later", s.queue.Depth())
 		return
@@ -281,7 +317,21 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
 	s.mu.Unlock()
 	obsJobsAccepted.Add(1)
 	obsQueueDepth.Observe(int64(s.queue.Depth()))
+	logServeEvent("serve.admit", j.trace, fp, map[string]any{"job": j.id, "sweep": sweep})
 	s.accepted(w, j, false)
+}
+
+// logServeEvent records one structured admission-path event, gated so
+// the fields map is never built while the log is off.
+func logServeEvent(event, trace, fp string, fields map[string]any) {
+	if !obs.LogEnabled() {
+		return
+	}
+	if fields == nil {
+		fields = map[string]any{}
+	}
+	fields["fp"] = fp
+	obs.LogEvent(event, trace, fields)
 }
 
 func (s *Server) accepted(w http.ResponseWriter, j *job, coalesced bool) {
@@ -402,6 +452,7 @@ func (s *Server) finish(j *job, result *JobResult, err error, state string) {
 	j.result = result
 	j.finished = time.Now()
 	terminal := j.state
+	queueWait, compute, total := j.breakdownLocked()
 	j.mu.Unlock()
 	close(j.done)
 
@@ -410,6 +461,21 @@ func (s *Server) finish(j *job, result *JobResult, err error, state string) {
 		obsJobsCompleted.Add(1)
 	case "failed":
 		obsJobsFailed.Add(1)
+	}
+	if terminal == "done" || terminal == "failed" {
+		obsJobSeconds.ObserveDuration(total)
+		obsQueueWaitSeconds.ObserveDuration(queueWait)
+		obsComputeSeconds.ObserveDuration(compute)
+	}
+	if obs.LogEnabled() {
+		obs.LogEvent("serve.complete", j.trace, map[string]any{
+			"job":        j.id,
+			"fp":         j.fp,
+			"state":      terminal,
+			"queue_ms":   queueWait.Milliseconds(),
+			"compute_ms": compute.Milliseconds(),
+			"total_ms":   total.Milliseconds(),
+		})
 	}
 
 	s.mu.Lock()
@@ -519,11 +585,19 @@ type jobStatus struct {
 	ID        string `json:"id"`
 	State     string `json:"state"`
 	Coalesced int    `json:"coalesced"`
+	// Trace is the job's obs trace id; GET /jobs/<id>/trace exports the
+	// span events stamped with it as a Chrome trace document.
+	Trace string `json:"trace,omitempty"`
 	// EnqueuedMS/StartedMS/FinishedMS are Unix milliseconds (0 when the
 	// job has not reached that point).
 	EnqueuedMS int64 `json:"enqueued_ms"`
 	StartedMS  int64 `json:"started_ms,omitempty"`
 	FinishedMS int64 `json:"finished_ms,omitempty"`
+	// QueueMS/ComputeMS/TotalMS are the finished job's latency breakdown
+	// (absent while it is still queued or running).
+	QueueMS   int64 `json:"queue_ms,omitempty"`
+	ComputeMS int64 `json:"compute_ms,omitempty"`
+	TotalMS   int64 `json:"total_ms,omitempty"`
 	// Progress lists the job's live wear series while it runs.
 	Progress []progressEntry `json:"progress,omitempty"`
 	Error    string          `json:"error,omitempty"`
@@ -546,16 +620,34 @@ func unixMS(t time.Time) int64 {
 	return t.UnixMilli()
 }
 
-func (s *Server) getJob(w http.ResponseWriter, r *http.Request, id string) {
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request, rest string) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	id, sub, _ := strings.Cut(rest, "/")
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		// One 404 shape for both never-existed and completed-and-evicted
+		// ids: the history ring forgets the oldest finished jobs, so a
+		// stale id is indistinguishable from a wrong one.
+		httpError(w, http.StatusNotFound, "unknown job %q (never accepted, or evicted from history)", id)
+		return
+	}
+	switch sub {
+	case "":
+		// fall through to the status body below
+	case "trace":
+		j.mu.Lock()
+		trace := j.trace
+		j.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteTraceFor(w, trace)
+		return
+	default:
+		httpError(w, http.StatusNotFound, "unknown job subresource %q (only /jobs/<id> and /jobs/<id>/trace exist)", sub)
 		return
 	}
 	j.mu.Lock()
@@ -563,11 +655,16 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request, id string) {
 		ID:         j.id,
 		State:      j.state,
 		Coalesced:  j.coalesced,
+		Trace:      j.trace,
 		EnqueuedMS: unixMS(j.enqueued),
 		StartedMS:  unixMS(j.started),
 		FinishedMS: unixMS(j.finished),
 		Error:      j.err,
 		Result:     j.result,
+	}
+	if !j.finished.IsZero() {
+		queueWait, compute, total := j.breakdownLocked()
+		st.QueueMS, st.ComputeMS, st.TotalMS = queueWait.Milliseconds(), compute.Milliseconds(), total.Milliseconds()
 	}
 	running := j.state == "running"
 	j.mu.Unlock()

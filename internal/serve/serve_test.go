@@ -370,11 +370,150 @@ func TestSeriesScopedToJob(t *testing.T) {
 	}
 }
 
+// A finished job must expose its trace id and latency breakdown, its
+// span events must be filterable at GET /jobs/<id>/trace, and the
+// structured log must hold its admission and completion records.
+func TestJobTelemetryLifecycle(t *testing.T) {
+	enableObs(t)
+	obs.EnableEvents(0)
+	t.Cleanup(obs.DisableEvents)
+	obs.EnableLog(0)
+	t.Cleanup(obs.DisableLog)
+
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	id := submitJob(t, ts.Client(), ts.URL, smallSweep())
+	st := pollDone(t, ts.Client(), ts.URL, id)
+	if st.State != "done" {
+		t.Fatalf("job state %q (err %q)", st.State, st.Error)
+	}
+	if st.Trace == "" {
+		t.Fatal("finished job carries no trace id")
+	}
+	if st.TotalMS < 0 || st.QueueMS < 0 || st.ComputeMS < 0 {
+		t.Errorf("negative breakdown: queue %d compute %d total %d", st.QueueMS, st.ComputeMS, st.TotalMS)
+	}
+	if st.FinishedMS < st.EnqueuedMS {
+		t.Errorf("finished %d before enqueued %d", st.FinishedMS, st.EnqueuedMS)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/trace = %d, want 200", id, resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("per-job trace is empty — trace id did not propagate into the engine spans")
+	}
+	names := map[string]bool{}
+	for _, te := range doc.TraceEvents {
+		names[te.Name] = true
+		if te.Args["trace"] != st.Trace {
+			t.Errorf("event %s stamped %v, want %s", te.Name, te.Args["trace"], st.Trace)
+		}
+	}
+	if !names["pool.queue.job"] {
+		t.Errorf("trace lacks the queue pickup span; saw %v", names)
+	}
+
+	var admit, complete bool
+	for _, rec := range obs.LogRecords(0) {
+		if rec.Trace != st.Trace {
+			continue
+		}
+		switch rec.Event {
+		case "serve.admit":
+			admit = true
+			if rec.Fields["job"] != id {
+				t.Errorf("admit record names job %v, want %s", rec.Fields["job"], id)
+			}
+		case "serve.complete":
+			complete = true
+			if rec.Fields["state"] != "done" {
+				t.Errorf("complete record state = %v", rec.Fields["state"])
+			}
+			if _, ok := rec.Fields["total_ms"]; !ok {
+				t.Error("complete record lacks the latency breakdown")
+			}
+			if rec.Fields["fp"] == "" {
+				t.Error("complete record lacks the config fingerprint")
+			}
+		}
+	}
+	if !admit || !complete {
+		t.Errorf("log missing lifecycle records: admit=%v complete=%v", admit, complete)
+	}
+}
+
+// Stale and malformed job URLs must return clean JSON 404s: a job
+// evicted from the bounded history, and an unknown subresource.
+func TestJob404Regressions(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, History: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	first := submitJob(t, ts.Client(), ts.URL, smallSweep())
+	pollDone(t, ts.Client(), ts.URL, first)
+	second := smallSweep()
+	second["seed"] = 99
+	pollDone(t, ts.Client(), ts.URL, submitJob(t, ts.Client(), ts.URL, second))
+
+	expect404 := func(path string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s Content-Type = %q, want application/json", path, ct)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+			t.Errorf("GET %s: 404 body not a JSON error: %v / %v", path, body, err)
+		}
+	}
+	// History 1 keeps only the second job; the first is evicted.
+	expect404("/jobs/" + first)
+	expect404("/jobs/nonexistent")
+	expect404("/jobs/nonexistent/trace")
+	expect404("/jobs/" + "j000002" + "/bogus")
+}
+
 // The acceptance gate: 1000 concurrent requests against a small queue.
 // Every request must get a clean HTTP answer — 202 for admitted or
 // coalesced work, 429 for shed work — with zero dropped connections,
-// and every accepted job must reach a terminal state.
+// and every accepted job must reach a terminal state. With telemetry
+// fully on, the storm also hammers the histogram, trace and log hot
+// paths under the race detector, and the structured log's admission
+// arithmetic must balance the client-side tallies exactly.
 func TestThousandConcurrentRequests(t *testing.T) {
+	enableObs(t)
+	obs.EnableEvents(0)
+	t.Cleanup(obs.DisableEvents)
+	obs.EnableLog(0)
+	t.Cleanup(obs.DisableLog)
+	jobHistBefore := obs.GetDurationHistogram("serve.job").Count()
+
 	s := New(Config{Workers: 4, QueueDepth: 8})
 	defer s.Close()
 	ts := httptest.NewServer(s)
@@ -453,6 +592,42 @@ func TestThousandConcurrentRequests(t *testing.T) {
 		if st.State != "done" {
 			t.Errorf("job %s finished %q (err %q)", id, st.State, st.Error)
 		}
+	}
+
+	// The structured log's admission arithmetic must balance the HTTP
+	// tallies exactly: every 202 is an admit or a coalesce record, every
+	// 429 a reject record.
+	var admits, coalesces, rejects int64
+	for _, rec := range obs.LogRecords(0) {
+		switch rec.Event {
+		case "serve.admit":
+			admits++
+		case "serve.coalesce":
+			coalesces++
+		case "serve.reject":
+			rejects++
+		}
+	}
+	if st := obs.CaptureLogStats(); st.Dropped != 0 {
+		t.Fatalf("log dropped %d records; the balance check needs the full history", st.Dropped)
+	}
+	if admits+coalesces != accepted.Load() {
+		t.Errorf("admit(%d) + coalesce(%d) records != %d accepted requests", admits, coalesces, accepted.Load())
+	}
+	if rejects != shed.Load() {
+		t.Errorf("reject records = %d, want %d (shed requests)", rejects, shed.Load())
+	}
+
+	// Every admitted job finished, so the latency histogram must have
+	// recorded exactly one observation per admit. The observation lands
+	// just after the terminal state becomes pollable; give it a moment.
+	wantHist := jobHistBefore + admits
+	deadline := time.Now().Add(2 * time.Second)
+	for obs.GetDurationHistogram("serve.job").Count() < wantHist && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := obs.GetDurationHistogram("serve.job").Count(); got != wantHist {
+		t.Errorf("serve.job histogram count = %d, want %d (one per admitted job)", got, wantHist)
 	}
 }
 

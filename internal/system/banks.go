@@ -303,6 +303,11 @@ func Stripe(plan *core.WearPlan, sim core.SimConfig, strat core.StrategyConfig, 
 	workers := pool.Size(sim.Workers, len(touched))
 	inner := pool.Share(sim.Workers, workers)
 	pool.ForEach(workers, len(touched), func(i int) {
+		// One span per bank simulation under a single timer name: with
+		// trace propagation through the pool, a serving job's per-bank
+		// work shows up in its /jobs/<id>/trace export.
+		simSp := obs.StartSpan("system.stripe/banks/sim")
+		defer simSp.End()
 		b := touched[i]
 		bs := sim
 		bs.Iterations = assigned[b]

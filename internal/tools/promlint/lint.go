@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricName is the Prometheus metric-name alphabet.
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// family collects everything the linter saw for one metric family.
+type family struct {
+	help, typ string
+	samples   int
+	buckets   []bucket // only for TYPE histogram, in exposition order
+	count     float64
+	hasCount  bool
+}
+
+// bucket is one cumulative _bucket sample.
+type bucket struct {
+	le    float64
+	isInf bool
+	cum   float64
+	line  int
+}
+
+// Lint checks a Prometheus text-format (0.0.4) exposition and returns
+// one problem string per violation: families missing # HELP or # TYPE,
+// metric names outside the [a-zA-Z_:][a-zA-Z0-9_:]* alphabet,
+// unparseable samples, and histogram families whose cumulative buckets
+// decrease, whose le bounds are out of order, or whose +Inf bucket is
+// missing or disagrees with _count.
+func Lint(r io.Reader) ([]string, error) {
+	fams := map[string]*family{}
+	order := []string{}
+	get := func(name string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			f := get(fields[2])
+			if fields[1] == "HELP" {
+				f.help = strings.Join(fields[3:], " ")
+				if f.help == "" {
+					addf("line %d: empty HELP text for %s", lineNo, fields[2])
+				}
+			} else {
+				if f.typ != "" {
+					addf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				f.typ = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", lineNo, err)
+			continue
+		}
+		if !metricName.MatchString(name) {
+			addf("line %d: invalid metric name %q", lineNo, name)
+			continue
+		}
+		famName, kind := name, ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && fams[base] != nil && fams[base].typ == "histogram" {
+				famName, kind = base, suffix
+				break
+			}
+		}
+		f := get(famName)
+		f.samples++
+		switch kind {
+		case "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				addf("line %d: histogram bucket without le label: %s", lineNo, line)
+				continue
+			}
+			b := bucket{cum: value, line: lineNo}
+			if le == "+Inf" {
+				b.isInf = true
+			} else if b.le, err = strconv.ParseFloat(le, 64); err != nil {
+				addf("line %d: unparseable le=%q", lineNo, le)
+				continue
+			}
+			f.buckets = append(f.buckets, b)
+		case "_count":
+			f.count, f.hasCount = value, true
+		case "":
+			if len(labels) > 0 {
+				addf("line %d: labeled sample %s outside a histogram family", lineNo, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		if f.samples == 0 && f.typ == "" && f.help == "" {
+			continue
+		}
+		if f.help == "" {
+			addf("family %s: missing # HELP", name)
+		}
+		if f.typ == "" {
+			addf("family %s: missing # TYPE", name)
+		} else if f.samples == 0 {
+			addf("family %s: HELP/TYPE but no samples", name)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		if len(f.buckets) == 0 {
+			addf("family %s: histogram with no _bucket samples", name)
+			continue
+		}
+		prevLE, prevCum := -1.0, -1.0
+		for i, b := range f.buckets {
+			if b.isInf && i != len(f.buckets)-1 {
+				addf("family %s: le=\"+Inf\" bucket is not last (line %d)", name, b.line)
+			}
+			if !b.isInf && b.le <= prevLE {
+				addf("family %s: le bounds not increasing at line %d", name, b.line)
+			}
+			if b.cum < prevCum {
+				addf("family %s: cumulative bucket count decreases at line %d (%g after %g)",
+					name, b.line, b.cum, prevCum)
+			}
+			prevLE, prevCum = b.le, b.cum
+		}
+		last := f.buckets[len(f.buckets)-1]
+		switch {
+		case !last.isInf:
+			addf("family %s: missing closing le=\"+Inf\" bucket", name)
+		case !f.hasCount:
+			addf("family %s: histogram without _count sample", name)
+		case last.cum != f.count:
+			addf("family %s: le=\"+Inf\" bucket %g != _count %g", name, last.cum, f.count)
+		}
+	}
+	return problems, nil
+}
+
+// parseSample splits a text-format sample into name, label map and
+// value. Label values are the only place a '}' or ',' may hide, and
+// the obs exposition never emits escaped quotes, so a quote-aware
+// scan is sufficient.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	var name string
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		end := -1
+		inQuote := false
+		for k := 0; k < len(rest); k++ {
+			switch rest[k] {
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					end = k
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set: %s", line)
+		}
+		labels := map[string]string{}
+		for _, pair := range splitLabels(rest[:end]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			v := pair[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value %q", pair)
+			}
+			labels[strings.TrimSpace(pair[:eq])] = v[1 : len(v)-1]
+		}
+		value, err := strconv.ParseFloat(strings.TrimSpace(rest[end+1:]), 64)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable value in %q", line)
+		}
+		return name, labels, value, nil
+	}
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return "", nil, 0, fmt.Errorf("sample without value: %q", line)
+	}
+	name = rest[:sp]
+	value, err := strconv.ParseFloat(strings.TrimSpace(rest[sp+1:]), 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value in %q", line)
+	}
+	return name, nil, value, nil
+}
+
+// splitLabels splits "a=\"x\",b=\"y\"" on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(s[start:]) != "" {
+		out = append(out, s[start:])
+	}
+	return out
+}

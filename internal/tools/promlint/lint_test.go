@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// lintString runs the linter over a literal exposition.
+func lintString(t *testing.T, s string) []string {
+	t.Helper()
+	problems, err := Lint(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problems
+}
+
+// wantProblem asserts exactly one problem containing each fragment.
+func wantProblem(t *testing.T, problems []string, fragments ...string) {
+	t.Helper()
+	if len(problems) != len(fragments) {
+		t.Fatalf("problems = %v, want %d", problems, len(fragments))
+	}
+	for i, frag := range fragments {
+		if !strings.Contains(problems[i], frag) {
+			t.Errorf("problem %d = %q, want it to mention %q", i, problems[i], frag)
+		}
+	}
+}
+
+const goodHistogram = `# HELP demo_seconds latency
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.001"} 2
+demo_seconds_bucket{le="0.01"} 5
+demo_seconds_bucket{le="+Inf"} 7
+demo_seconds_sum 0.25
+demo_seconds_count 7
+`
+
+func TestLintCleanExposition(t *testing.T) {
+	exposition := `# HELP demo_total events
+# TYPE demo_total counter
+demo_total 42
+` + goodHistogram
+	if problems := lintString(t, exposition); len(problems) != 0 {
+		t.Errorf("clean exposition flagged: %v", problems)
+	}
+}
+
+func TestLintMissingHelpAndType(t *testing.T) {
+	wantProblem(t, lintString(t, "demo_total 1\n"),
+		"missing # HELP", "missing # TYPE")
+	wantProblem(t, lintString(t, "# TYPE demo_total counter\ndemo_total 1\n"),
+		"missing # HELP")
+	wantProblem(t, lintString(t, "# HELP demo_total x\ndemo_total 1\n"),
+		"missing # TYPE")
+}
+
+func TestLintInvalidName(t *testing.T) {
+	wantProblem(t, lintString(t, "# HELP 0bad x\n# TYPE 0bad counter\n0bad 1\n"),
+		"invalid metric name", "no samples")
+}
+
+func TestLintNonMonotonicBuckets(t *testing.T) {
+	bad := strings.Replace(goodHistogram, `demo_seconds_bucket{le="0.01"} 5`,
+		`demo_seconds_bucket{le="0.01"} 1`, 1)
+	wantProblem(t, lintString(t, bad), "cumulative bucket count decreases")
+}
+
+func TestLintLEOutOfOrder(t *testing.T) {
+	bad := strings.Replace(goodHistogram, `le="0.01"`, `le="0.0001"`, 1)
+	wantProblem(t, lintString(t, bad), "le bounds not increasing")
+}
+
+func TestLintInfDisagreesWithCount(t *testing.T) {
+	bad := strings.Replace(goodHistogram, "demo_seconds_count 7", "demo_seconds_count 9", 1)
+	wantProblem(t, lintString(t, bad), `le="+Inf" bucket 7 != _count 9`)
+}
+
+func TestLintMissingInf(t *testing.T) {
+	bad := strings.Replace(goodHistogram, "demo_seconds_bucket{le=\"+Inf\"} 7\n", "", 1)
+	wantProblem(t, lintString(t, bad), `missing closing le="+Inf"`)
+}
+
+func TestLintLabeledNonHistogram(t *testing.T) {
+	exposition := `# HELP demo_total x
+# TYPE demo_total counter
+demo_total{shard="a"} 1
+`
+	wantProblem(t, lintString(t, exposition), "labeled sample")
+}
+
+// The repository's own exposition — every metric kind the obs layer
+// emits — must lint clean. This is the same path `make ci` runs.
+func TestLintSelfExposition(t *testing.T) {
+	exposition := selfExposition()
+	problems, err := Lint(bytes.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("self exposition flagged:\n%s\nproblems: %v", exposition, problems)
+	}
+	for _, want := range []string{
+		"promlint_self_events", "promlint_self_stage_seconds_bucket",
+		"promlint_self_bytes_bucket", "promlint_self_lat_seconds_bucket",
+		"obs_log_recorded_total",
+	} {
+		if !bytes.Contains(exposition, []byte(want)) {
+			t.Errorf("self exposition missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command promlint lints a Prometheus text-format (0.0.4) exposition:
+// every family must carry # HELP and # TYPE, metric names must stay in
+// the [a-zA-Z_:][a-zA-Z0-9_:]* alphabet, and histogram families must
+// emit strictly increasing le bounds with non-decreasing cumulative
+// counts closed by an le="+Inf" bucket equal to _count. With no
+// arguments it self-tests the repository's own exposition — it enables
+// the obs layer, exercises a counter, a gauge-bearing timer, a value
+// histogram and a duration histogram, and lints what WritePrometheus
+// produces — which is how `make ci` gates the /metrics contract without
+// a live server. Zero dependencies, like the sibling doclint.
+//
+//	go run ./internal/tools/promlint                      # self-test
+//	go run ./internal/tools/promlint -target http://localhost:8090
+//	go run ./internal/tools/promlint exposition.txt ...
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"pimendure/internal/obs"
+)
+
+func main() {
+	target := flag.String("target", "", "lint a live server's <target>/metrics instead of self-testing")
+	flag.Parse()
+
+	var failed bool
+	lintNamed := func(name string, problems []string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+			failed = true
+			return
+		}
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %s\n", name, p)
+		}
+		if len(problems) > 0 {
+			failed = true
+		}
+	}
+
+	switch {
+	case *target != "":
+		resp, err := http.Get(*target + "/metrics")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "promlint: %s/metrics returned %d\n", *target, resp.StatusCode)
+			os.Exit(1)
+		}
+		problems, err := Lint(resp.Body)
+		lintNamed(*target, problems, err)
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				lintNamed(path, nil, err)
+				continue
+			}
+			problems, err := Lint(f)
+			f.Close()
+			lintNamed(path, problems, err)
+		}
+	default:
+		problems, err := Lint(bytes.NewReader(selfExposition()))
+		lintNamed("self-test", problems, err)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}
+
+// selfExposition exercises every metric kind the obs layer exports and
+// returns the resulting Prometheus text, so the linter checks the
+// repository's real exposition code rather than a hand-written fixture.
+func selfExposition() []byte {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	obs.EnableLog(16)
+	defer obs.DisableLog()
+
+	obs.GetCounter("promlint.self.events").Add(3)
+	obs.StartSpan("promlint.self.stage").End()
+	h := obs.GetHistogram("promlint.self.bytes")
+	for _, v := range []int64{0, 1, 7, 300, 9001} {
+		h.Observe(v)
+	}
+	obs.GetDurationHistogram("promlint.self.lat").ObserveDuration(3 * time.Millisecond)
+	obs.LogEvent("promlint.self", "", nil)
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

@@ -1,9 +1,15 @@
 package pim_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"pimendure/internal/obs"
+	"pimendure/internal/serve"
 	"pimendure/pim"
 )
 
@@ -107,6 +113,89 @@ func TestManifestMatchesSweepResults(t *testing.T) {
 	if m.Counters["pim.runs"] != 18 || m.Counters["pim.sweeps"] != 1 {
 		t.Errorf("pim counters wrong: runs=%d sweeps=%d",
 			m.Counters["pim.runs"], m.Counters["pim.sweeps"])
+	}
+}
+
+// Serving-path telemetry must balance: after a batch of jobs runs
+// through a serve.Server, the serve.job latency histogram holds exactly
+// one observation per terminal job, i.e. its _count equals
+// serve.jobs_completed + serve.jobs_failed — the cross-layer invariant
+// that ties the distribution-level telemetry to the counters the
+// serving layer has always exported. (Not parallel: the obs registry is
+// process-wide.)
+func TestServeHistogramBalancesJobCounters(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 16})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	poll := func(id string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := ts.Client().Get(ts.URL + "/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == "done" || st.State == "failed" || st.State == "canceled" {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("job %s did not finish", id)
+	}
+	for seed := 0; seed < 5; seed++ {
+		body, _ := json.Marshal(map[string]any{
+			"benchmark": "mult", "bits": 4, "lanes": 16, "rows": 256,
+			"iterations": 40, "recompile_every": 20, "seed": seed,
+			"strategies": []string{"StxSt"},
+		})
+		resp, err := ts.Client().Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Job string `json:"job"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d err %v", resp.StatusCode, err)
+		}
+		poll(out.Job)
+	}
+
+	// The histogram observation and counter bumps land just after the
+	// terminal state becomes pollable; allow them a moment to settle.
+	terminal := func() int64 {
+		return obs.GetCounter("serve.jobs_completed").Value() + obs.GetCounter("serve.jobs_failed").Value()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for (terminal() != 5 || obs.GetDurationHistogram("serve.job").Count() != 5) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := terminal(); got != 5 {
+		t.Fatalf("jobs_completed + jobs_failed = %d, want 5", got)
+	}
+	for _, name := range []string{"serve.job", "serve.queue_wait", "serve.compute"} {
+		if got := obs.GetDurationHistogram(name).Count(); got != 5 {
+			t.Errorf("%s histogram count = %d, want 5 (one per terminal job)", name, got)
+		}
 	}
 }
 
