@@ -7,9 +7,9 @@ GO ?= go
 
 # Packages whose exported symbols must all carry doc comments (public
 # API + instrumented engine layers). Enforced by `make doclint`.
-DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool ./internal/serve ./internal/system ./internal/device
+DOC_PKGS = ./pim ./pim/kernel ./internal/obs ./internal/core ./internal/pool ./internal/serve ./internal/system ./internal/device ./internal/fleet
 
-.PHONY: all build vet test race race-obs race-core race-serve race-system bench bench-alloc bench-json bench-current benchdiff report ci doclint promlint
+.PHONY: all build vet test race race-obs race-core race-serve race-system race-fleet bench bench-alloc bench-json bench-current benchdiff report ci doclint promlint
 
 all: build
 
@@ -49,6 +49,13 @@ race-serve:
 race-system:
 	$(GO) test -race ./internal/system/...
 
+# The fleet engine shards device batches over the worker pool, caches
+# hazard tables on shared Groups and recycles sample buffers through a
+# package free list; race its suite (plus the pim.Fleet facade tests)
+# explicitly so a draw-path data race is named.
+race-fleet:
+	$(GO) test -race ./internal/fleet/... ./pim/...
+
 # Doc-lint: fail on undocumented exported symbols (revive `exported`
 # rule stand-in, zero dependencies).
 doclint:
@@ -77,7 +84,7 @@ bench:
 # `make ci` runs this as a 1x smoke so an allocation leak in the hot path
 # is visible even before the benchdiff gate compares snapshots.
 bench-alloc:
-	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkServeSweep|BenchmarkArrayIteration|BenchmarkHwEngine' \
+	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkServeSweep|BenchmarkArrayIteration|BenchmarkHwEngine|BenchmarkFleet' \
 		-benchmem -benchtime=1x . \
 		| awk '/^Benchmark/ { name=$$1; bop="-"; aop="-"; \
 			for (i=2; i<NF; i++) { if ($$(i+1)=="B/op") bop=$$i; if ($$(i+1)=="allocs/op") aop=$$i } \
@@ -117,8 +124,8 @@ report:
 # benchmark body once, catching bit-rot in the measurement harness.
 # `bench-alloc` prints the hot-path B/op / allocs/op one-liners, and
 # `benchdiff` then diffs a fresh snapshot — BenchmarkHwEngine, the
-# BenchmarkSweep sweep benchmarks and BenchmarkServeSweep's cold/cached
-# serving-throughput pair included, timing and allocs/op both — against
-# the committed baseline: advisory locally, strict when
-# BENCHDIFF_FLAGS=-strict.
-ci: vet doclint promlint race-obs race-core race-serve race-system race bench bench-alloc benchdiff
+# BenchmarkSweep sweep benchmarks, BenchmarkServeSweep's cold/cached
+# serving-throughput pair and BenchmarkFleet's draws/cold/cached/speedup
+# quartet included, timing and allocs/op both — against the committed
+# baseline: advisory locally, strict when BENCHDIFF_FLAGS=-strict.
+ci: vet doclint promlint race-obs race-core race-serve race-system race-fleet race bench bench-alloc benchdiff

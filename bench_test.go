@@ -21,6 +21,7 @@ import (
 	"pimendure/internal/baseline"
 	"pimendure/internal/core"
 	"pimendure/internal/faults"
+	"pimendure/internal/fleet"
 	"pimendure/internal/lifetime"
 	"pimendure/internal/obs"
 	"pimendure/internal/program"
@@ -792,6 +793,138 @@ func BenchmarkBankSweep(b *testing.B) {
 			b.ReportMetric(res.BankCoV, "bank_cov")
 		})
 	}
+}
+
+// BenchmarkFleet measures the fleet-survival engine at paper scale: one
+// million simulated devices over the 1024×1024 32-bit multiplication
+// write distribution. "draws" is the hot path alone — plan, simulation
+// and order-statistic collapse built outside the timer — on a single
+// worker; it gates the engine's floor of one million device draws per
+// second per core and its allocation budget (a fixed handful of
+// bookkeeping allocations per sweep point, no per-device or per-batch
+// churn). "cold" vs "cached" run the same study through pim.PlanCache —
+// a cache miss rebuilds the WearPlan from the trace, a hit pays only
+// simulation and draws. "speedup" compares lifetime.VarModel on the
+// fleet engine against the retained per-cell FirstFailureReference at
+// 100 000 trials and gates the ≥20× win the order-statistic collapse
+// must deliver.
+func BenchmarkFleet(b *testing.B) {
+	bench, err := pim.NewParallelMult(pim.DefaultOptions(), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paperSim := core.SimConfig{
+		Rows: 1024, PresetOutputs: true,
+		Iterations: 100000, RecompileEvery: 100, Seed: 1,
+	}
+	plan := core.NewWearPlan(bench.Trace, paperSim.Rows, paperSim.PresetOutputs)
+	dist, err := plan.Simulate(paperSim, pim.StaticStrategy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups, err := fleet.GroupCounts(dist.Counts, dist.Iterations)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := fleet.Model{MedianEndurance: pim.MRAM().Endurance, Sigma: 0.3}
+
+	b.Run("draws", func(b *testing.B) {
+		p := fleet.Params{Devices: 1_000_000, Seed: 1, Workers: 1}
+		// Steady state must not allocate per device or per batch: the
+		// sample buffer is pooled and the hazard table is cached on the
+		// Groups, so a whole sweep point costs a fixed handful of
+		// bookkeeping allocations.
+		if allocs := testing.AllocsPerRun(3, func() {
+			if _, err := model.Survive(groups, fleet.Params{Devices: 100_000, Seed: 1, Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}); allocs > 32 {
+			b.Fatalf("fleet draw hot path allocates: %v allocs per sweep point, want ≤32", allocs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		t0 := time.Now()
+		var res fleet.Result
+		for i := 0; i < b.N; i++ {
+			res, err = model.Survive(groups, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rate := float64(p.Devices) * float64(b.N) / time.Since(t0).Seconds()
+		if rate < 1e6 {
+			b.Fatalf("fleet engine below the 1M devices/sec single-core floor: %.0f devices/sec", rate)
+		}
+		b.ReportMetric(rate, "devices/sec")
+		b.ReportMetric(res.Quantiles[0], "b1_iterations")
+	})
+
+	rc := pim.RunConfig{Iterations: 2000, RecompileEvery: 100, Seed: 1, Workers: 1}
+	fc := pim.FleetConfig{Devices: 1_000_000, Sigmas: []float64{0.3}, Seed: 1}
+	strategies := []pim.Strategy{pim.StaticStrategy}
+	techs := []pim.Technology{pim.MRAM()}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache := pim.NewPlanCache(1)
+			if _, _, err := cache.Fleet(bench, pim.DefaultOptions(), rc, strategies, techs, fc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := pim.NewPlanCache(1)
+		if _, _, err := cache.Fleet(bench, pim.DefaultOptions(), rc, strategies, techs, fc); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, hit, err := cache.Fleet(bench, pim.DefaultOptions(), rc, strategies, techs, fc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !hit {
+				b.Fatal("warmed PlanCache missed on an identical fleet study")
+			}
+		}
+	})
+
+	// The order-statistic win over the per-cell sampler, on a reduced
+	// array the reference can still finish: 2048 cells × 100 000 trials
+	// is ~2×10⁸ lognormal draws for the reference and 100 000 table
+	// inversions for the engine.
+	b.Run("speedup", func(b *testing.B) {
+		cfg := workloads.Config{Lanes: 16, Rows: 128, Basis: synth.NAND}
+		small, err := workloads.ParallelMult(cfg, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim := core.SimConfig{Rows: 128, PresetOutputs: true, Iterations: 200, RecompileEvery: 50, Seed: 1}
+		sd, err := core.Simulate(small.Trace, sim, pim.StaticStrategy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm := lifetime.VarModel{MedianEndurance: 1e12, Sigma: 0.5, StepSeconds: 1e-9}
+		const trials = 100_000
+		b.ResetTimer()
+		var ref, eng time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := vm.FirstFailureReference(sd.Counts, sim.Iterations, trials, 1); err != nil {
+				b.Fatal(err)
+			}
+			ref += time.Since(t0)
+			t0 = time.Now()
+			if _, err := vm.FirstFailure(sd.Counts, sim.Iterations, trials, 1); err != nil {
+				b.Fatal(err)
+			}
+			eng += time.Since(t0)
+		}
+		speedup := float64(ref) / float64(eng)
+		if speedup < 20 {
+			b.Fatalf("fleet engine only %.1f× over FirstFailureReference, want ≥20×", speedup)
+		}
+		b.ReportMetric(speedup, "speedup_x")
+	})
 }
 
 // BenchmarkServeSweep measures the serving layer end to end over HTTP:

@@ -12,9 +12,15 @@
 // shed requests get clean 429s, server log balances the client's counts"
 // is checked here against a live server.
 //
+// With -fleet the storm posts fleet-survival jobs (POST /fleet, with
+// -devices and -sigmas shaping each request) instead of sweeps, and a
+// finished job must carry fleet rows to count as done — so the same
+// ledger cross-check exercises the fleet path of the admission pipeline.
+//
 // Example (against `pimserve -serve localhost:8090`):
 //
 //	loadgen -target http://localhost:8090 -requests 2000 -concurrency 1000
+//	loadgen -target http://localhost:8090 -fleet -requests 200 -devices 20000
 package main
 
 import (
@@ -49,6 +55,9 @@ func main() {
 	strategies := flag.String("strategies", "StxSt", "comma-separated strategy labels (empty = all 18)")
 	distinct := flag.Int("distinct", 32, "distinct request shapes (seeds); 1 = maximal coalescing")
 	wait := flag.Bool("wait", true, "poll accepted jobs to completion before reporting")
+	fleet := flag.Bool("fleet", false, "storm POST /fleet instead of /sweep (fleet-survival jobs)")
+	devices := flag.Int("devices", 20000, "fleet population per sweep point (with -fleet)")
+	sigmas := flag.String("sigmas", "0.3", "comma-separated endurance sigmas (with -fleet)")
 	flag.Parse()
 
 	var strats []string
@@ -92,9 +101,23 @@ func main() {
 			if len(strats) > 0 {
 				body["strategies"] = strats
 			}
+			endpoint := "/sweep"
+			if *fleet {
+				endpoint = "/fleet"
+				body["devices"] = *devices
+				var sl []float64
+				for _, f := range strings.Split(*sigmas, ",") {
+					if v, err := strconv.ParseFloat(strings.TrimSpace(f), 64); err == nil {
+						sl = append(sl, v)
+					}
+				}
+				if len(sl) > 0 {
+					body["sigmas"] = sl
+				}
+			}
 			data, _ := json.Marshal(body)
 			t0 := time.Now()
-			resp, err := client.Post(*target+"/sweep", "application/json", bytes.NewReader(data))
+			resp, err := client.Post(*target+endpoint, "application/json", bytes.NewReader(data))
 			latencies[i] = time.Since(t0)
 			if err != nil {
 				dropped.Add(1)
@@ -132,7 +155,7 @@ func main() {
 	var breakdowns []jobBreakdown
 	if *wait {
 		for id := range unique {
-			bd, err := pollDone(client, *target, id)
+			bd, err := pollDone(client, *target, id, *fleet)
 			if err != nil {
 				log.Printf("job %s: %v", id, err)
 				other.Add(1)
@@ -234,8 +257,9 @@ func printBreakdown(bds []jobBreakdown) {
 }
 
 // pollDone waits for one job to reach a terminal state and returns its
-// server-reported latency breakdown.
-func pollDone(client *http.Client, base, id string) (jobBreakdown, error) {
+// server-reported latency breakdown. In fleet mode a done job must also
+// carry fleet-survival rows — an empty result is a failure.
+func pollDone(client *http.Client, base, id string, wantFleet bool) (jobBreakdown, error) {
 	deadline := time.Now().Add(5 * time.Minute)
 	for time.Now().Before(deadline) {
 		resp, err := client.Get(base + "/jobs/" + id)
@@ -248,6 +272,9 @@ func pollDone(client *http.Client, base, id string) (jobBreakdown, error) {
 			QueueMS   int64  `json:"queue_ms"`
 			ComputeMS int64  `json:"compute_ms"`
 			TotalMS   int64  `json:"total_ms"`
+			Result    *struct {
+				Fleet []json.RawMessage `json:"fleet"`
+			} `json:"result"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()
@@ -256,6 +283,9 @@ func pollDone(client *http.Client, base, id string) (jobBreakdown, error) {
 		}
 		switch st.State {
 		case "done":
+			if wantFleet && (st.Result == nil || len(st.Result.Fleet) == 0) {
+				return jobBreakdown{}, fmt.Errorf("done without fleet rows")
+			}
 			return jobBreakdown{
 				queue:   time.Duration(st.QueueMS) * time.Millisecond,
 				compute: time.Duration(st.ComputeMS) * time.Millisecond,

@@ -1,7 +1,8 @@
 // Command pimserve runs the endurance-as-a-service job server: the obs
-// telemetry listener (-serve) extended with POST /sweep, POST /run and
-// GET /jobs/<id> from internal/serve. Clients submit named benchmarks
-// with a pim.RunConfig as JSON, poll job ids for per-epoch progress,
+// telemetry listener (-serve) extended with POST /sweep, POST /run,
+// POST /fleet and GET /jobs/<id> from internal/serve. Clients submit
+// named benchmarks with a pim.RunConfig as JSON (plus devices/sigmas/
+// technologies for fleet-survival studies), poll job ids for progress,
 // and repeated or identical requests are answered from the WearPlan
 // cache and coalesced onto one execution. Every accepted job carries a
 // trace id: GET /jobs/<id>/trace returns that job's Chrome trace slice,
@@ -44,6 +45,7 @@ func main() {
 	maxLanes := flag.Int("max-lanes", 4096, "largest lane count a request may ask for")
 	maxRows := flag.Int("max-rows", 4096, "largest row count a request may ask for")
 	maxIters := flag.Int("max-iterations", 10_000_000, "largest iteration count a request may ask for")
+	maxDevices := flag.Int("max-devices", 10_000_000, "largest fleet population a request may ask for")
 	manifestDir := flag.String("out", "out", "directory for the run manifest")
 	flag.Parse()
 
@@ -62,9 +64,10 @@ func main() {
 		MaxLanes:      *maxLanes,
 		MaxRows:       *maxRows,
 		MaxIterations: *maxIters,
+		MaxDevices:    *maxDevices,
 	})
 	srv.Mount(obs.Handle)
-	log.Printf("serving on http://%s (POST /sweep, POST /run, GET /jobs/<id>[/trace], GET /metrics, GET /events, GET /dashboard)", run.ServeBound())
+	log.Printf("serving on http://%s (POST /sweep, POST /run, POST /fleet, GET /jobs/<id>[/trace], GET /metrics, GET /events, GET /dashboard)", run.ServeBound())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -76,6 +79,7 @@ func main() {
 	config := map[string]any{
 		"workers": *workers, "queue": *queue, "cache": *cacheSize,
 		"max_lanes": *maxLanes, "max_rows": *maxRows, "max_iterations": *maxIters,
+		"max_devices": *maxDevices,
 	}
 	if err := run.Finish(*manifestDir, config, 0, os.Stdout); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,450 @@
+// Package fleet estimates fleet-survival lifetime quantiles — B1/B10/B50,
+// the iterations by which 1%/10%/50% of a device population has seen its
+// first cell failure — from a finished write distribution, at millions of
+// simulated devices per second on a single core.
+//
+// The naive Monte Carlo (one endurance draw per written cell per device,
+// as lifetime.VarModel.FirstFailureReference still does) costs O(cells)
+// per device: a million math.Exp calls per draw at paper scale. The
+// engine stacks three reductions on top of it:
+//
+//  1. Order-statistic collapse (Groups): cells with equal write counts
+//     are exchangeable, so the minimum lifetime within a count-group of
+//     n cells follows the closed-form minimum distribution
+//     F_min = 1 − (1 − F)ⁿ. O(cells) becomes O(groups) — and write
+//     distributions are highly degenerate (tens to ~1000 distinct
+//     counts across the paper-scale array's million cells).
+//
+//  2. Hazard-sum inversion: a device's lifetime M is the minimum over
+//     its groups' minima, and independence multiplies the survival
+//     functions: P(M > x) = Πⱼ SF(x·rⱼ)^{nⱼ} = e^{−H(x)} with the
+//     cumulative hazard H(x) = Σⱼ −nⱼ·ln SF(x·rⱼ). So M itself has a
+//     closed-form distribution, and a device draw is a single Exp(1)
+//     variate pushed through H⁻¹ — O(1), independent of both cell and
+//     group count. H⁻¹ is tabulated once per (Groups, σ) on a
+//     log-spaced lifetime grid spanning the full reachable Exp(1)
+//     range and inverted by binary search with log-log interpolation
+//     (relative error ~1e−7, orders of magnitude below what the KS
+//     acceptance tests could detect); the measure-zero draws outside
+//     the grid fall back to exact bisection on H. The table is built
+//     for a median of 1 — changing median endurance only shifts ln x —
+//     so every technology in a sweep shares one table per σ.
+//
+//  3. Pool-parallel, allocation-free batching: devices are drawn in
+//     fixed 8192-device logical batches sharded over internal/pool,
+//     each batch owning a splitmix64 stream seeded from (Seed, batch) —
+//     so the sample vector is bit-identical for any worker count — with
+//     the sample buffer pooled on a package free list and quantiles
+//     extracted by stats.PercentileRadixFloat instead of a full sort.
+//
+// Correctness is enforced by Kolmogorov–Smirnov acceptance tests against
+// the per-cell reference sampler across σ values and distribution
+// shapes, a direct H(H⁻¹(E)) = E inversion-accuracy check, and exact
+// determinism tests across worker counts.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimendure/internal/obs"
+	"pimendure/internal/pool"
+	"pimendure/internal/stats"
+)
+
+// Engine telemetry (no-ops until obs.Enable): population and work
+// counters plus the per-batch draw latency histogram.
+var (
+	// obsDevices counts simulated devices.
+	obsDevices = obs.GetCounter("fleet.devices")
+	// obsDraws counts endurance quantile inversions — one per device on
+	// the table path; compare against devices × cells for the
+	// order-statistic collapse factor.
+	obsDraws = obs.GetCounter("fleet.draws")
+	// obsGroups counts distinct write-count groups per Survive call.
+	obsGroups = obs.GetCounter("fleet.groups")
+	// obsFallbacks counts draws that landed outside the hazard table
+	// and were solved by exact bisection (expected ≈ never: the grid
+	// spans the full reachable Exp(1) range).
+	obsFallbacks = obs.GetCounter("fleet.fallbacks")
+	// obsDrawHist is the per-8192-device-batch draw latency.
+	obsDrawHist = obs.GetDurationHistogram("fleet.draw")
+)
+
+// Model is the lognormal endurance population a fleet is drawn from.
+type Model struct {
+	// MedianEndurance is the nominal writes-to-failure (the lognormal
+	// median, exp(µ)).
+	MedianEndurance float64
+	// Sigma is the lognormal shape parameter (σ of ln endurance); 0
+	// collapses every device onto the deterministic Eq. 4 lifetime.
+	Sigma float64
+}
+
+// DefaultQuantiles are the fleet-survival points reported when Params
+// leaves Quantiles nil: B1, B10 and B50.
+var DefaultQuantiles = []float64{0.01, 0.10, 0.50}
+
+// Params configures one Survive call.
+type Params struct {
+	// Devices is the fleet population to simulate (must be positive).
+	Devices int
+	// Seed fixes the draw streams; a (Seed, Devices) pair reproduces
+	// the sample vector exactly, for any Workers value.
+	Seed int64
+	// Workers bounds the pool fan-out (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// Quantiles are the survival probabilities to extract, each in
+	// [0, 1]; nil selects DefaultQuantiles.
+	Quantiles []float64
+	// Series, when non-nil, receives one row per finished draw batch
+	// with the cumulative device count — the serving layer's progress
+	// feed. The series must have exactly one column.
+	Series *obs.Series
+	// SeriesBase is added to every cumulative count reported on Series,
+	// so a multi-point caller (pim.Fleet) can feed one series across a
+	// whole strategy × technology × σ sweep and have it count devices
+	// fleet-wide instead of restarting at zero each point.
+	SeriesBase float64
+}
+
+// Result is the fleet-survival summary of one Survive call, in
+// benchmark iterations.
+type Result struct {
+	// Devices is the simulated population size.
+	Devices int
+	// Groups is the number of distinct write-count groups.
+	Groups int
+	// Cells is the number of written cells per device.
+	Cells int
+	// Draws is the number of endurance quantile inversions performed —
+	// compare against Devices×Cells for the collapse factor.
+	Draws int64
+	// Mean is the mean first-failure iteration count.
+	Mean float64
+	// Quantiles holds the first-failure iteration count at each
+	// requested survival probability, parallel to Params.Quantiles
+	// (or DefaultQuantiles).
+	Quantiles []float64
+	// DeterministicIterations is the paper's uniform-endurance Eq. 4
+	// value, MedianEndurance / max write rate, for comparison.
+	DeterministicIterations float64
+}
+
+// drawBatch is the logical batch size: the determinism unit (one RNG
+// stream per batch) and the work-stealing granule. 8192 devices is
+// well under a millisecond of draw work, small enough to load-balance
+// and large enough that the per-batch bookkeeping vanishes.
+const drawBatch = 8192
+
+// Survive draws p.Devices iid devices against the grouped write
+// distribution and returns mean and quantiles of the first-failure
+// iteration count. The sample vector is a pure function of
+// (g, m, p.Seed, p.Devices) — bit-identical across worker counts.
+func (m Model) Survive(g *Groups, p Params) (Result, error) {
+	if m.MedianEndurance <= 0 {
+		return Result{}, fmt.Errorf("fleet: non-positive median endurance %v", m.MedianEndurance)
+	}
+	if m.Sigma < 0 {
+		return Result{}, fmt.Errorf("fleet: negative sigma %v", m.Sigma)
+	}
+	if p.Devices <= 0 {
+		return Result{}, fmt.Errorf("fleet: devices must be positive, got %d", p.Devices)
+	}
+	if g == nil || len(g.Rate) == 0 {
+		return Result{}, fmt.Errorf("fleet: empty group set (use GroupCounts)")
+	}
+	quantiles := p.Quantiles
+	if quantiles == nil {
+		quantiles = DefaultQuantiles
+	}
+	res := Result{
+		Devices:                 p.Devices,
+		Groups:                  len(g.Rate),
+		Cells:                   g.Cells,
+		Quantiles:               make([]float64, len(quantiles)),
+		DeterministicIterations: m.MedianEndurance / g.MaxRate(),
+	}
+	obsDevices.Add(int64(p.Devices))
+	obsGroups.Add(int64(len(g.Rate)))
+
+	if m.Sigma == 0 {
+		// Point mass: every device fails at the deterministic lifetime.
+		// No RNG is consumed and no sample buffer is needed. The
+		// exp(log) round trip mirrors what a zero-σ draw evaluates to,
+		// keeping the value consistent with the σ→0 limit of the
+		// sampled path.
+		v := math.Exp(math.Log(m.MedianEndurance)) / g.MaxRate()
+		res.Mean = v
+		for i := range res.Quantiles {
+			res.Quantiles[i] = v
+		}
+		if p.Series != nil {
+			p.Series.Add(p.SeriesBase + float64(p.Devices))
+		}
+		return res, nil
+	}
+
+	tbl := g.table(m.Sigma)
+	n := p.Devices
+	nBatches := (n + drawBatch - 1) / drawBatch
+	samples := getBuf(n)
+	defer putBuf(samples)
+	// Per-batch partials, combined in batch order below so the mean is
+	// as deterministic as the samples themselves.
+	sums := make([]float64, nBatches)
+	mins := make([]float64, nBatches)
+	maxs := make([]float64, nBatches)
+	var fallbacks, done atomic.Int64
+	pool.ForEachWorker(p.Workers, nBatches, func(_, b int) {
+		t0 := time.Now()
+		lo, hi := b*drawBatch, min((b+1)*drawBatch, n)
+		rng := newBatchRNG(p.Seed, b)
+		bmin, bmax, bsum := math.Inf(1), math.Inf(-1), 0.0
+		var bfallbacks int64
+		for d := lo; d < hi; d++ {
+			life := tbl.draw(&rng, m.MedianEndurance, &bfallbacks)
+			samples[d] = life
+			bsum += life
+			if life < bmin {
+				bmin = life
+			}
+			if life > bmax {
+				bmax = life
+			}
+		}
+		sums[b], mins[b], maxs[b] = bsum, bmin, bmax
+		fallbacks.Add(bfallbacks)
+		obsDraws.Add(int64(hi - lo))
+		obsFallbacks.Add(bfallbacks)
+		obsDrawHist.ObserveDuration(time.Since(t0))
+		if p.Series != nil {
+			p.Series.Add(p.SeriesBase + float64(done.Add(int64(hi-lo))))
+		}
+	})
+
+	var sum float64
+	gmin, gmax := math.Inf(1), math.Inf(-1)
+	for b := 0; b < nBatches; b++ {
+		sum += sums[b]
+		gmin = math.Min(gmin, mins[b])
+		gmax = math.Max(gmax, maxs[b])
+	}
+	res.Mean = sum / float64(n)
+	res.Draws = int64(n)
+	work := getBuf(1024)[:0]
+	for i, q := range quantiles {
+		res.Quantiles[i], work = stats.PercentileRadixFloat(samples, q, gmin, gmax, work)
+	}
+	putBuf(work)
+	return res, nil
+}
+
+// hazardGrid is the number of tabulated points of H⁻¹. 4096 log-spaced
+// lifetime points over the reachable Exp(1) range keep the log-log
+// interpolation error near 1e−7 relative while the two parallel grid
+// arrays stay a cache-friendly 64 KB.
+const hazardGrid = 4096
+
+// hazardTable is the precomputed inverse of a grouped distribution's
+// cumulative hazard H(x) = Σⱼ −nⱼ·ln SF(x·rⱼ), normalized to median
+// endurance 1 (a different median shifts ln x by ln median, applied at
+// draw time). lnx is uniform in log-lifetime; lnH is strictly
+// increasing, so a draw is a binary search plus one interpolation.
+// Read-only after build; shared by every worker and every technology.
+type hazardTable struct {
+	l     stats.Lognormal // median 1, the table's σ
+	g     *Groups
+	lnx0  float64 // ln lifetime at grid point 0
+	dlnx  float64 // grid spacing in ln lifetime
+	lnH   []float64
+	lnxHi float64 // ln lifetime at the last grid point
+}
+
+// hazardFloor and hazardCeil bound the tabulated hazard range. An
+// Exp(1) draw from the engine's strictly-interior uniforms lies in
+// [−ln(1 − 2⁻⁵⁴), −ln(2⁻⁵⁴)] ⊂ [5e−17, 37.5], so a table solved out to
+// [1e−18, 38] covers every reachable draw and the bisection fallback is
+// measure-zero insurance.
+const (
+	hazardFloor = 1e-18
+	hazardCeil  = 38
+)
+
+// table returns the per-σ hazard inverse, building and caching it on
+// first use. Tables depend only on (Groups, σ): a strategy's groups are
+// computed once and replayed across every technology × σ sweep point.
+func (g *Groups) table(sigma float64) *hazardTable {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t, ok := g.tables[sigma]; ok {
+		return t
+	}
+	t := buildTable(stats.Lognormal{Mu: 0, Sigma: sigma}, g)
+	if g.tables == nil {
+		g.tables = map[float64]*hazardTable{}
+	}
+	g.tables[sigma] = t
+	return t
+}
+
+// hazardAt evaluates the exact cumulative hazard at normalized
+// lifetime x.
+func hazardAt(l stats.Lognormal, g *Groups, x float64) float64 {
+	var h float64
+	for j, r := range g.Rate {
+		h += l.MinHazard(x*r, g.Size[j])
+	}
+	return h
+}
+
+// buildTable brackets the lifetime range covering H ∈ [hazardFloor,
+// hazardCeil] by doubling/halving from the deterministic lifetime
+// (H is monotone in x), then tabulates ln H on a log-spaced lifetime
+// grid. Cost is O(hazardGrid × groups) erfc evaluations — paid once
+// per (Groups, σ) and amortized over millions of draws.
+func buildTable(l stats.Lognormal, g *Groups) *hazardTable {
+	det := 1 / g.Rate[0] // deterministic lifetime at median 1
+	lo, hi := det, det
+	for i := 0; hazardAt(l, g, lo) > hazardFloor && i < 4000; i++ {
+		lo /= 2
+	}
+	for i := 0; hazardAt(l, g, hi) < hazardCeil && i < 4000; i++ {
+		hi *= 2
+	}
+	// Tighten the low end: a power-of-two bracket can waste decades of
+	// grid on hazard far below the floor. 40 log-bisections pin the
+	// H = hazardFloor crossing to float precision.
+	blo, bhi := lo, hi
+	for i := 0; i < 40; i++ {
+		mid := math.Sqrt(blo * bhi)
+		if hazardAt(l, g, mid) > hazardFloor {
+			bhi = mid
+		} else {
+			blo = mid
+		}
+	}
+	lo = blo
+
+	t := &hazardTable{
+		l:     l,
+		g:     g,
+		lnx0:  math.Log(lo),
+		lnxHi: math.Log(hi),
+		lnH:   make([]float64, hazardGrid),
+	}
+	t.dlnx = (t.lnxHi - t.lnx0) / (hazardGrid - 1)
+	prev := math.Inf(-1)
+	for i := range t.lnH {
+		h := hazardAt(l, g, math.Exp(t.lnx0+float64(i)*t.dlnx))
+		v := math.Log(h)
+		// Enforce strict increase so the draw-time binary search stays
+		// well-defined even where float rounding flattens the curve.
+		if v <= prev {
+			v = math.Nextafter(prev, math.Inf(1))
+		}
+		t.lnH[i] = v
+		prev = v
+	}
+	return t
+}
+
+// draw samples one device's first-failure lifetime: E ~ Exp(1), then
+// median·H⁻¹(E).
+func (t *hazardTable) draw(rng *drawRNG, median float64, fallbacks *int64) float64 {
+	return median * t.invert(rng.exp(), fallbacks)
+}
+
+// invert returns the normalized (median 1) lifetime H⁻¹(e) via the
+// table — binary search plus log-log interpolation — falling back to
+// exact bisection for the measure-zero draws outside the tabulated
+// range.
+func (t *hazardTable) invert(e float64, fallbacks *int64) float64 {
+	le := math.Log(e)
+	if le < t.lnH[0] || le > t.lnH[len(t.lnH)-1] {
+		*fallbacks++
+		return t.solveExact(e)
+	}
+	lo, hi := 0, len(t.lnH)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.lnH[mid] < le {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// le ∈ (lnH[lo−1], lnH[lo]]; lo = 0 only when le equals the first
+	// grid value exactly, which resolves to the grid edge.
+	if lo == 0 {
+		return math.Exp(t.lnx0)
+	}
+	w := (le - t.lnH[lo-1]) / (t.lnH[lo] - t.lnH[lo-1])
+	return math.Exp(t.lnx0 + (float64(lo-1)+w)*t.dlnx)
+}
+
+// solveExact inverts the hazard by bisection for draws outside the
+// table — exact to float precision, O(groups·log) per call, and
+// essentially never taken (see hazardFloor/hazardCeil).
+func (t *hazardTable) solveExact(e float64) float64 {
+	lo, hi := math.Exp(t.lnx0), math.Exp(t.lnxHi)
+	for i := 0; hazardAt(t.l, t.g, lo) > e && i < 4000; i++ {
+		lo /= 2
+	}
+	for i := 0; hazardAt(t.l, t.g, hi) < e && i < 4000; i++ {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		if mid <= lo || mid >= hi {
+			break
+		}
+		if hazardAt(t.l, t.g, mid) < e {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// The sample-buffer free list: Survive's only large allocation is the
+// per-call device sample vector, pooled here so steady-state fleet
+// traffic (serve jobs, benchmarks, sweeps) redraws into warm buffers.
+// Buffers are owned exclusively between get and put, as in the engine
+// arena (ARCHITECTURE.md "Memory discipline").
+var (
+	bufMu   sync.Mutex
+	bufFree [][]float64
+)
+
+// getBuf pops (or allocates) a float buffer with length n. Contents are
+// unspecified; callers overwrite every slot.
+func getBuf(n int) []float64 {
+	bufMu.Lock()
+	for i := len(bufFree) - 1; i >= 0; i-- {
+		if cap(bufFree[i]) >= n {
+			b := bufFree[i]
+			bufFree[i] = bufFree[len(bufFree)-1]
+			bufFree = bufFree[:len(bufFree)-1]
+			bufMu.Unlock()
+			return b[:n]
+		}
+	}
+	bufMu.Unlock()
+	return make([]float64, n)
+}
+
+// putBuf returns a buffer to the free list. The list is bounded so a
+// burst of concurrent calls cannot pin an unbounded number of
+// multi-megabyte buffers.
+func putBuf(b []float64) {
+	bufMu.Lock()
+	if len(bufFree) < 8 {
+		bufFree = append(bufFree, b)
+	}
+	bufMu.Unlock()
+}

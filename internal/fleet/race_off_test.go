@@ -1,0 +1,7 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled shrinks the statistical test sizes under the race
+// detector, where a 100k-trial Monte Carlo is ~20× slower.
+const raceEnabled = false

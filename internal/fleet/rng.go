@@ -1,0 +1,58 @@
+package fleet
+
+import "math"
+
+// The engine's draw stream: a splitmix64 generator, chosen over
+// math/rand because a device draw is a handful of uniforms and the
+// generator must be (a) cheap enough to disappear next to the erfc/exp
+// math around it and (b) seedable per logical batch so the sample
+// vector is a pure function of (seed, batch index) — the invariant
+// that makes draws bit-identical across worker counts. Statistical
+// acceptance is enforced end-to-end by the KS tests against the
+// per-cell reference sampler, not assumed from the generator.
+
+// goldenGamma is the splitmix64 increment (odd, ≈2⁶⁴/φ).
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the murmur3 finalizer — a bijective scramble used to spread
+// (seed, batch) pairs uniformly over the generator's state orbit, so
+// consecutive batch streams start at effectively random, non-adjacent
+// orbit positions instead of one increment apart.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}
+
+// drawRNG is one batch's private splitmix64 stream.
+type drawRNG struct{ s uint64 }
+
+// newBatchRNG seeds the stream for one logical device batch. The state
+// is a scramble of both inputs, never the raw sum: splitmix64 streams
+// seeded one goldenGamma apart are the same sequence shifted by one,
+// which would duplicate samples across batches.
+func newBatchRNG(seed int64, batch int) drawRNG {
+	return drawRNG{s: mix64(uint64(seed) ^ mix64(uint64(batch)*goldenGamma+1))}
+}
+
+// next returns the next 64 raw bits.
+func (r *drawRNG) next() uint64 {
+	r.s += goldenGamma
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniform returns a draw strictly inside (0, 1): the top 53 bits plus a
+// half-ulp offset, so downstream log/quantile transforms never see an
+// exact 0 or 1.
+func (r *drawRNG) uniform() float64 {
+	return (float64(r.next()>>11) + 0.5) * 0x1p-53
+}
+
+// exp returns a standard Exp(1) draw — the renewal gap of the
+// screening walk.
+func (r *drawRNG) exp() float64 {
+	return -math.Log(r.uniform())
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+
+	"pimendure/internal/fleet"
+	"pimendure/internal/stats"
 )
 
 // The paper assumes identical endurance for every cell and notes this is
@@ -13,7 +15,11 @@ import (
 // expected lifetime)" (§4). This file quantifies that caveat: cell
 // endurance is drawn from a lognormal distribution around the nominal
 // value and the first-failure time becomes a random variable whose
-// quantiles we estimate by Monte Carlo.
+// quantiles we estimate by Monte Carlo — through the order-statistic
+// fleet engine (internal/fleet), which collapses the per-cell draw loop
+// into O(1) hazard inversions per trial. The original per-cell sampler
+// survives as FirstFailureReference, the cross-validation baseline the
+// fleet engine's KS acceptance tests run against.
 
 // VarModel is a lifetime model with lognormal per-cell endurance
 // variability.
@@ -41,20 +47,68 @@ type VarResult struct {
 	DeterministicIterations float64
 }
 
-// FirstFailure Monte-Carlo samples the iterations until the first cell
-// failure for a write distribution accumulated over `iterations`
-// iterations: each trial draws an endurance for every written cell and
-// takes min over cells of endurance/writesPerIteration. Unwritten cells
-// never fail.
-func (m VarModel) FirstFailure(counts []uint64, iterations, trials int, seed int64) (VarResult, error) {
+// validate checks the model and call parameters shared by both
+// samplers.
+func (m VarModel) validate(iterations, trials int) error {
 	if m.MedianEndurance <= 0 || m.StepSeconds <= 0 {
-		return VarResult{}, fmt.Errorf("lifetime: non-positive model parameters %+v", m)
+		return fmt.Errorf("lifetime: non-positive model parameters %+v", m)
 	}
 	if m.Sigma < 0 {
-		return VarResult{}, fmt.Errorf("lifetime: negative sigma %v", m.Sigma)
+		return fmt.Errorf("lifetime: negative sigma %v", m.Sigma)
 	}
 	if iterations <= 0 || trials <= 0 {
-		return VarResult{}, fmt.Errorf("lifetime: iterations and trials must be positive")
+		return fmt.Errorf("lifetime: iterations and trials must be positive")
+	}
+	return nil
+}
+
+// FirstFailure Monte-Carlo samples the iterations until the first cell
+// failure for a write distribution accumulated over `iterations`
+// iterations: each trial is one simulated device whose every written
+// cell draws an endurance, and the trial value is min over cells of
+// endurance/writesPerIteration. Unwritten cells never fail.
+//
+// Trials run on the fleet engine: cells are collapsed into
+// distinct-count groups and each device is a single inversion of the
+// closed-form minimum distribution — no per-cell draws, no sort, no
+// per-call allocation churn (the sample buffer is pooled, quantiles
+// come from a radix select). FirstFailureReference keeps the original
+// per-cell loop for cross-validation.
+func (m VarModel) FirstFailure(counts []uint64, iterations, trials int, seed int64) (VarResult, error) {
+	if err := m.validate(iterations, trials); err != nil {
+		return VarResult{}, err
+	}
+	g, err := fleet.GroupCounts(counts, iterations)
+	if err != nil {
+		return VarResult{}, fmt.Errorf("lifetime: %w", err)
+	}
+	fm := fleet.Model{MedianEndurance: m.MedianEndurance, Sigma: m.Sigma}
+	res, err := fm.Survive(g, fleet.Params{
+		Devices:   trials,
+		Seed:      seed,
+		Workers:   1,
+		Quantiles: []float64{0.05, 0.95},
+	})
+	if err != nil {
+		return VarResult{}, fmt.Errorf("lifetime: %w", err)
+	}
+	return VarResult{
+		Trials:                  trials,
+		MeanIterations:          res.Mean,
+		P05:                     res.Quantiles[0],
+		P95:                     res.Quantiles[1],
+		DeterministicIterations: res.DeterministicIterations,
+	}, nil
+}
+
+// FirstFailureReference is the original O(cells × trials) per-cell
+// sampler: one lognormal endurance draw for every written cell of every
+// trial. It is kept as the statistical baseline the fleet engine is
+// cross-validated against (KS acceptance in internal/fleet) and is far
+// too slow for fleet-scale populations — use FirstFailure.
+func (m VarModel) FirstFailureReference(counts []uint64, iterations, trials int, seed int64) (VarResult, error) {
+	if err := m.validate(iterations, trials); err != nil {
+		return VarResult{}, err
 	}
 	// Per-iteration write rates of the written cells only.
 	rates := make([]float64, 0, len(counts))
@@ -73,36 +127,30 @@ func (m VarModel) FirstFailure(counts []uint64, iterations, trials int, seed int
 		return VarResult{}, fmt.Errorf("lifetime: distribution has no written cells")
 	}
 
-	mu := math.Log(m.MedianEndurance)
+	l := stats.LognormalMedian(m.MedianEndurance, m.Sigma)
 	rng := rand.New(rand.NewSource(seed))
 	samples := make([]float64, trials)
+	gmin, gmax := math.Inf(1), math.Inf(-1)
+	var sum float64
 	for t := range samples {
 		first := math.Inf(1)
 		for _, r := range rates {
-			endurance := math.Exp(mu + m.Sigma*rng.NormFloat64())
-			if life := endurance / r; life < first {
+			if life := l.Draw(rng) / r; life < first {
 				first = life
 			}
 		}
 		samples[t] = first
+		sum += first
+		gmin = math.Min(gmin, first)
+		gmax = math.Max(gmax, first)
 	}
-	sort.Float64s(samples)
-	var sum float64
-	for _, s := range samples {
-		sum += s
-	}
-	q := func(p float64) float64 {
-		i := int(p * float64(trials))
-		if i >= trials {
-			i = trials - 1
-		}
-		return samples[i]
-	}
+	p05, work := stats.PercentileRadixFloat(samples, 0.05, gmin, gmax, nil)
+	p95, _ := stats.PercentileRadixFloat(samples, 0.95, gmin, gmax, work)
 	return VarResult{
 		Trials:                  trials,
 		MeanIterations:          sum / float64(trials),
-		P05:                     q(0.05),
-		P95:                     q(0.95),
+		P05:                     p05,
+		P95:                     p95,
 		DeterministicIterations: m.MedianEndurance / maxRate,
 	}, nil
 }

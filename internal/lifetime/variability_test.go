@@ -84,6 +84,54 @@ func TestSingleHotCell(t *testing.T) {
 	}
 }
 
+// TestFleetMatchesReference cross-validates the fleet-backed sampler
+// against the kept per-cell reference loop: same model, same
+// distribution, statistically indistinguishable mean and quantiles.
+// (The distribution-level KS acceptance lives in internal/fleet; this
+// pins the wiring through VarModel.)
+func TestFleetMatchesReference(t *testing.T) {
+	m := VarModel{MedianEndurance: 1e6, Sigma: 0.5, StepSeconds: 3e-9}
+	counts := make([]uint64, 200)
+	for i := range counts {
+		counts[i] = uint64(10 + i%17)
+	}
+	const trials = 20000
+	fast, err := m.FirstFailure(counts, 10, trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.FirstFailureReference(counts, 10, trials, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, a, b float64) {
+		if math.Abs(a-b) > 0.03*b {
+			t.Errorf("%s: fleet %g vs reference %g", name, a, b)
+		}
+	}
+	check("mean", fast.MeanIterations, ref.MeanIterations)
+	check("p05", fast.P05, ref.P05)
+	check("p95", fast.P95, ref.P95)
+	if fast.DeterministicIterations != ref.DeterministicIterations {
+		t.Errorf("deterministic: %g vs %g", fast.DeterministicIterations, ref.DeterministicIterations)
+	}
+	if fast.Trials != trials || ref.Trials != trials {
+		t.Error("trial counts not reported")
+	}
+}
+
+// The reference sampler must enforce the same validation envelope as
+// the fast path.
+func TestReferenceValidation(t *testing.T) {
+	good := VarModel{MedianEndurance: 1e6, Sigma: 0.5, StepSeconds: 3e-9}
+	if _, err := (VarModel{Sigma: 0.5, StepSeconds: 1}).FirstFailureReference([]uint64{1}, 1, 1, 1); err == nil {
+		t.Error("zero endurance accepted")
+	}
+	if _, err := good.FirstFailureReference([]uint64{0}, 1, 1, 1); err == nil {
+		t.Error("unwritten distribution accepted")
+	}
+}
+
 func TestVarModelValidation(t *testing.T) {
 	good := VarModel{MedianEndurance: 1e6, Sigma: 0.5, StepSeconds: 3e-9}
 	if _, err := (VarModel{Sigma: 0.5, StepSeconds: 1}).FirstFailure([]uint64{1}, 1, 1, 1); err == nil {

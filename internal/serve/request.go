@@ -47,12 +47,21 @@ type Request struct {
 	SampleEvery    int   `json:"sample_every,omitempty"`
 
 	// Strategies selects load-balancing configurations by paper label
-	// ("StxSt", "RaxBs+Hw", …). Empty means all 18 for /sweep and the
-	// St×St baseline for /run.
+	// ("StxSt", "RaxBs+Hw", …). Empty means all 18 for /sweep and /fleet
+	// and the St×St baseline for /run.
 	Strategies []string `json:"strategies,omitempty"`
 	// Technology names the device model: "MRAM" (default), "RRAM",
 	// "PCM", "MRAM-projected".
 	Technology string `json:"technology,omitempty"`
+
+	// Devices, Sigmas and Technologies shape POST /fleet (ignored by
+	// /run and /sweep): the simulated fleet population per sweep point
+	// (default 100 000, capped by Config.MaxDevices), the lognormal
+	// endurance shapes (default {0.3}), and the device models to sweep
+	// (default: just Technology).
+	Devices      int       `json:"devices,omitempty"`
+	Sigmas       []float64 `json:"sigmas,omitempty"`
+	Technologies []string  `json:"technologies,omitempty"`
 }
 
 // normalized returns the request with every defaulted field filled in —
@@ -105,6 +114,15 @@ func (r Request) normalized() Request {
 	if r.Technology == "" {
 		r.Technology = "MRAM"
 	}
+	if r.Devices <= 0 {
+		r.Devices = 100_000
+	}
+	if len(r.Sigmas) == 0 {
+		r.Sigmas = []float64{pim.DefaultFleetSigma}
+	}
+	if len(r.Technologies) == 0 {
+		r.Technologies = []string{r.Technology}
+	}
 	return r
 }
 
@@ -128,7 +146,21 @@ func (r Request) validate(cfg Config) error {
 	if r.SampleEvery < 0 {
 		return fmt.Errorf("sample_every must be ≥ 0")
 	}
+	if r.Devices > cfg.MaxDevices {
+		return fmt.Errorf("devices %d exceeds the server cap %d", r.Devices, cfg.MaxDevices)
+	}
+	if len(r.Sigmas) > maxFleetSigmas {
+		return fmt.Errorf("%d sigmas exceeds the cap %d", len(r.Sigmas), maxFleetSigmas)
+	}
+	for _, s := range r.Sigmas {
+		if s < 0 {
+			return fmt.Errorf("negative sigma %v", s)
+		}
+	}
 	if _, err := r.technology(); err != nil {
+		return err
+	}
+	if _, err := r.technologies(); err != nil {
 		return err
 	}
 	if _, err := parseStrategies(r.Strategies); err != nil {
@@ -136,6 +168,11 @@ func (r Request) validate(cfg Config) error {
 	}
 	return nil
 }
+
+// maxFleetSigmas bounds the σ sweep of one request: each σ costs a
+// hazard-table build per strategy plus a full device population, so the
+// cap keeps a single request from smuggling in an unbounded study.
+const maxFleetSigmas = 16
 
 // technology resolves the named device model.
 func (r Request) technology() (pim.Technology, error) {
@@ -145,6 +182,26 @@ func (r Request) technology() (pim.Technology, error) {
 		}
 	}
 	return pim.Technology{}, fmt.Errorf("unknown technology %q (MRAM, RRAM, PCM, MRAM-projected)", r.Technology)
+}
+
+// technologies resolves the fleet sweep's device-model list (normalized
+// to at least the single Technology).
+func (r Request) technologies() ([]pim.Technology, error) {
+	out := make([]pim.Technology, 0, len(r.Technologies))
+	for _, name := range r.Technologies {
+		found := false
+		for _, t := range pim.Technologies() {
+			if strings.EqualFold(t.Name, name) {
+				out = append(out, t)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown technology %q (MRAM, RRAM, PCM, MRAM-projected)", name)
+		}
+	}
+	return out, nil
 }
 
 // parseStrategies converts paper labels ("RaxBs+Hw") into strategy
@@ -186,14 +243,11 @@ func parseStrategy(label string) (pim.Strategy, error) {
 }
 
 // fingerprint is the coalescing key: two requests with the same
-// canonical form (and endpoint kind) are the same work.
-func (r Request) fingerprint(sweep bool) string {
+// canonical form (and endpoint kind: "run", "sweep" or "fleet") are the
+// same work.
+func (r Request) fingerprint(kind string) string {
 	data, _ := json.Marshal(r) // struct of plain fields; cannot fail
-	kind := "run:"
-	if sweep {
-		kind = "sweep:"
-	}
-	return kind + string(data)
+	return kind + ":" + string(data)
 }
 
 // options converts the geometry/compile fields to pim.Options.

@@ -88,6 +88,10 @@ type Config struct {
 	MaxLanes      int
 	MaxRows       int
 	MaxIterations int
+	// MaxDevices caps the fleet population of one POST /fleet sweep
+	// point (default 10 000 000 — about two seconds of draws per point
+	// on one core).
+	MaxDevices int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +118,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxIterations <= 0 {
 		c.MaxIterations = 10_000_000
+	}
+	if c.MaxDevices <= 0 {
+		c.MaxDevices = 10_000_000
 	}
 	return c
 }
@@ -142,10 +149,12 @@ type Server struct {
 // done/failed (or canceled, when Close drains it before a worker runs
 // it).
 type job struct {
-	id    string
-	fp    string
-	req   Request
-	sweep bool
+	id  string
+	fp  string
+	req Request
+	// kind is the endpoint the job came from: "run", "sweep" or
+	// "fleet".
+	kind string
 	// trace is the obs trace id assigned at admission; every span the
 	// job causes (queue pickup, engine stages, bank fan-out) is stamped
 	// with it, and GET /jobs/<id>/trace filters the event ring by it.
@@ -200,6 +209,7 @@ func New(cfg Config) *Server {
 func (s *Server) Mount(register func(pattern string, h http.Handler)) {
 	register("/sweep", s)
 	register("/run", s)
+	register("/fleet", s)
 	register("/jobs", s)
 	register("/jobs/", s)
 }
@@ -208,6 +218,7 @@ func (s *Server) Mount(register func(pattern string, h http.Handler)) {
 func (s *Server) Unmount(register func(pattern string, h http.Handler)) {
 	register("/sweep", nil)
 	register("/run", nil)
+	register("/fleet", nil)
 	register("/jobs", nil)
 	register("/jobs/", nil)
 }
@@ -223,13 +234,16 @@ func (s *Server) Close() {
 	}
 }
 
-// ServeHTTP routes POST /sweep, POST /run, GET /jobs and GET /jobs/<id>.
+// ServeHTTP routes POST /sweep, POST /run, POST /fleet, GET /jobs and
+// GET /jobs/<id>.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/sweep":
-		s.submit(w, r, true)
+		s.submit(w, r, "sweep")
 	case r.URL.Path == "/run":
-		s.submit(w, r, false)
+		s.submit(w, r, "run")
+	case r.URL.Path == "/fleet":
+		s.submit(w, r, "fleet")
 	case r.URL.Path == "/jobs":
 		s.listJobs(w, r)
 	case strings.HasPrefix(r.URL.Path, "/jobs/"):
@@ -248,7 +262,7 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 // submit is the admission path: parse, validate, coalesce, enqueue-or-
 // shed. Everything here is cheap — compilation and simulation happen on
 // a queue worker.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
@@ -265,7 +279,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	fp := req.fingerprint(sweep)
+	fp := req.fingerprint(kind)
 
 	s.mu.Lock()
 	if s.closed {
@@ -288,7 +302,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
 		id:       fmt.Sprintf("j%06d", s.nextID),
 		fp:       fp,
 		req:      req,
-		sweep:    sweep,
+		kind:     kind,
 		trace:    obs.NewTraceID(),
 		state:    "queued",
 		enqueued: time.Now(),
@@ -317,7 +331,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sweep bool) {
 	s.mu.Unlock()
 	obsJobsAccepted.Add(1)
 	obsQueueDepth.Observe(int64(s.queue.Depth()))
-	logServeEvent("serve.admit", j.trace, fp, map[string]any{"job": j.id, "sweep": sweep})
+	logServeEvent("serve.admit", j.trace, fp, map[string]any{"job": j.id, "kind": kind})
 	s.accepted(w, j, false)
 }
 
@@ -390,9 +404,19 @@ func (s *Server) run(j *job) (*JobResult, error) {
 
 	var results []*pim.Result
 	var hit bool
-	if j.sweep {
+	switch j.kind {
+	case "fleet":
+		var out *JobResult
+		out, hit, err = s.runFleet(j, bench, rc, strategies)
+		if hit {
+			obsCacheHits.Add(1)
+		} else {
+			obsCacheMisses.Add(1)
+		}
+		return out, err
+	case "sweep":
 		results, hit, err = s.cache.Sweep(bench, req.options(), rc, strategies, tech)
-	} else {
+	default:
 		var res *pim.Result
 		strat := pim.StaticStrategy
 		if len(strategies) > 0 {
@@ -411,6 +435,49 @@ func (s *Server) run(j *job) (*JobResult, error) {
 	}
 	defer releaseTelemetry(results)
 	return buildResult(j, results, hit), nil
+}
+
+// runFleet executes a POST /fleet job: a fleet-survival study through
+// the shared PlanCache, with per-draw-batch progress on a job-scoped
+// series that GET /jobs/<id> picks up by prefix and that is retired
+// with the job.
+func (s *Server) runFleet(j *job, bench *pim.Benchmark, rc pim.RunConfig, strategies []pim.Strategy) (*JobResult, bool, error) {
+	req := j.req
+	techs, err := req.technologies()
+	if err != nil {
+		return nil, false, err
+	}
+	series := obs.NewSeries("serve."+j.id+".fleet", "devices")
+	defer obs.RemoveSeries(series.Name())
+	fc := pim.FleetConfig{
+		Devices: req.Devices,
+		Sigmas:  req.Sigmas,
+		Seed:    req.Seed,
+		Series:  series,
+	}
+	points, hit, err := s.cache.Fleet(bench, req.options(), rc, strategies, techs, fc)
+	if err != nil {
+		return nil, hit, err
+	}
+	out := &JobResult{Benchmark: bench.Name, CacheHit: hit}
+	for _, p := range points {
+		out.Fleet = append(out.Fleet, FleetRow{
+			Strategy:                p.Strategy.Name(),
+			Technology:              p.Technology.Name,
+			Sigma:                   p.Sigma,
+			Devices:                 p.Devices,
+			Groups:                  p.Groups,
+			Cells:                   p.Cells,
+			MeanIterations:          p.MeanIterations,
+			B1Iterations:            p.Quantiles[0],
+			B10Iterations:           p.Quantiles[1],
+			B50Iterations:           p.Quantiles[2],
+			DeterministicIterations: p.DeterministicIterations,
+			B1Seconds:               p.Seconds(p.Quantiles[0]),
+			MeanSeconds:             p.Seconds(p.MeanIterations),
+		})
+	}
+	return out, hit, nil
 }
 
 // releaseTelemetry retires a finished job's per-run state: the per-cell
@@ -498,8 +565,36 @@ type JobResult struct {
 	// bit-identical either way).
 	Benchmark string `json:"benchmark"`
 	CacheHit  bool   `json:"cache_hit"`
-	// Strategies holds one row per simulated strategy, in sweep order.
+	// Strategies holds one row per simulated strategy, in sweep order
+	// (empty for /fleet jobs).
 	Strategies []StrategyResult `json:"strategies"`
+	// Fleet holds one row per strategy × technology × σ sweep point of a
+	// POST /fleet job, in study order (nil otherwise).
+	Fleet []FleetRow `json:"fleet,omitempty"`
+}
+
+// FleetRow is one fleet-survival sweep point, flattened for JSON
+// clients: B-life quantiles against the paper's deterministic Eq. 4
+// value.
+type FleetRow struct {
+	Strategy   string  `json:"strategy"`
+	Technology string  `json:"technology"`
+	Sigma      float64 `json:"sigma"`
+	Devices    int     `json:"devices"`
+	// Groups vs Cells is the order-statistic collapse factor.
+	Groups int `json:"groups"`
+	Cells  int `json:"cells"`
+	// MeanIterations and the B-lives are fleet first-failure iteration
+	// counts; DeterministicIterations is the Fig. 17 ranking metric.
+	MeanIterations          float64 `json:"mean_iterations"`
+	B1Iterations            float64 `json:"b1_iterations"`
+	B10Iterations           float64 `json:"b10_iterations"`
+	B50Iterations           float64 `json:"b50_iterations"`
+	DeterministicIterations float64 `json:"deterministic_iterations"`
+	// B1Seconds and MeanSeconds are wall-clock conversions on the row's
+	// technology.
+	B1Seconds   float64 `json:"b1_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
 }
 
 // StrategyResult is one strategy's endurance outcome, flattened for

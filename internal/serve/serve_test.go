@@ -717,15 +717,18 @@ func TestFingerprintCanonicalization(t *testing.T) {
 	implicit := Request{Benchmark: "multiplication"}.normalized()
 	explicit := Request{Benchmark: "mult", Lanes: 1024, Rows: 1024, Bits: 32,
 		Iterations: 10000, RecompileEvery: 100, Technology: "MRAM"}.normalized()
-	if implicit.fingerprint(true) != explicit.fingerprint(true) {
+	if implicit.fingerprint("sweep") != explicit.fingerprint("sweep") {
 		t.Error("defaulted and spelled-out requests fingerprint differently")
 	}
-	if implicit.fingerprint(true) == implicit.fingerprint(false) {
+	if implicit.fingerprint("sweep") == implicit.fingerprint("run") {
 		t.Error("/sweep and /run share a fingerprint")
+	}
+	if implicit.fingerprint("sweep") == implicit.fingerprint("fleet") {
+		t.Error("/sweep and /fleet share a fingerprint")
 	}
 	seeded := implicit
 	seeded.Seed = 1
-	if implicit.fingerprint(true) == seeded.fingerprint(true) {
+	if implicit.fingerprint("sweep") == seeded.fingerprint("sweep") {
 		t.Error("different seeds share a fingerprint")
 	}
 }

@@ -1,0 +1,101 @@
+package stats
+
+import "math"
+
+// PercentileRadixFloat is PercentileRadix for non-negative float64
+// samples — the fleet engine's quantile extractor, replacing the full
+// sort.Float64s the variability model used to pay per call. It exploits
+// the IEEE-754 ordering property: for non-negative finite floats the
+// raw bit patterns order identically to the values, so one radix
+// bucketing pass on Float64bits locates the bucket holding the target
+// rank and a second pass collects only that bucket for a tiny exact
+// select. Bucketing is offset by the stated minimum so that samples
+// concentrated in a narrow range (the common case for first-failure
+// lifetimes, which span a few octaves at most) still spread across the
+// 4096 buckets instead of collapsing into a handful of exponent bins.
+//
+// min and max must bound the samples (stale bounds are safe: values
+// outside clamp into the edge buckets, which the final select still
+// resolves exactly). Negative values and NaNs are not supported. The
+// input is never mutated; work is scratch as in PercentileReuse.
+func PercentileRadixFloat(samples []float64, q, min, max float64, work []float64) (float64, []float64) {
+	n := len(samples)
+	if n == 0 {
+		return math.NaN(), work
+	}
+	lo := math.Float64bits(min)
+	shift := RadixShift(math.Float64bits(max) - lo)
+	bucket := func(v float64) uint64 {
+		bits := math.Float64bits(v)
+		if bits <= lo {
+			return 0
+		}
+		b := (bits - lo) >> shift
+		if b >= RadixBuckets {
+			b = RadixBuckets - 1
+		}
+		return b
+	}
+	var hist [RadixBuckets]uint32
+	for _, v := range samples {
+		hist[bucket(v)]++
+	}
+	k := quantileRank(q, n)
+	cum, target := 0, 0
+	for ; target < RadixBuckets-1; target++ {
+		next := cum + int(hist[target])
+		if next > k {
+			break
+		}
+		cum = next
+	}
+	work = work[:0]
+	for _, v := range samples {
+		if int(bucket(v)) == target {
+			work = append(work, v)
+		}
+	}
+	return quickselectFloat(work, k-cum), work
+}
+
+// quickselectFloat partitions work in place until its k-th smallest
+// element (0-based) is at index k, and returns it — the float64 twin of
+// quickselect.
+func quickselectFloat(work []float64, k int) float64 {
+	lo, hi := 0, len(work)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if work[mid] < work[lo] {
+			work[mid], work[lo] = work[lo], work[mid]
+		}
+		if work[hi] < work[lo] {
+			work[hi], work[lo] = work[lo], work[hi]
+		}
+		if work[hi] < work[mid] {
+			work[hi], work[mid] = work[mid], work[hi]
+		}
+		pivot := work[mid]
+		i, j := lo, hi
+		for i <= j {
+			for work[i] < pivot {
+				i++
+			}
+			for work[j] > pivot {
+				j--
+			}
+			if i <= j {
+				work[i], work[j] = work[j], work[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return work[k]
+}

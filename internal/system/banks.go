@@ -208,7 +208,8 @@ type StripeResult struct {
 }
 
 // BankEndurances draws per-bank cell endurances: lognormal around the
-// nominal value with shape sigma, from an explicit seed so bank-
+// nominal value with shape sigma (the shared stats.Lognormal model, as
+// in ChipLifetime and the fleet engine), from an explicit seed so bank-
 // variation experiments are reproducible run to run (the seed lands in
 // the CLI manifest). sigma ≤ 0 returns the nominal endurance exactly.
 func BankEndurances(banks int, nominal float64, sigma float64, seed int64) []float64 {
@@ -219,7 +220,7 @@ func BankEndurances(banks int, nominal float64, sigma float64, seed int64) []flo
 		}
 		return out
 	}
-	fillLognormal(out, math.Log(nominal), sigma, rand.New(rand.NewSource(seed)))
+	stats.LognormalMedian(nominal, sigma).Fill(out, rand.New(rand.NewSource(seed)))
 	return out
 }
 

@@ -15,9 +15,10 @@ package system
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
+
+	"pimendure/internal/stats"
 )
 
 // Config describes the accelerator.
@@ -83,13 +84,13 @@ func ChipLifetime(arrayMedianSeconds float64, cfg Config, trials int, seed int64
 	tolerated := int(cfg.SpareFraction * float64(cfg.Arrays))
 	// The chip dies at the (tolerated+1)-th array failure.
 	kth := tolerated // 0-indexed order statistic
-	mu := math.Log(arrayMedianSeconds)
+	l := stats.LognormalMedian(arrayMedianSeconds, cfg.Sigma)
 	rng := rand.New(rand.NewSource(seed))
 
 	samples := make([]float64, trials)
 	lives := make([]float64, cfg.Arrays)
 	for t := range samples {
-		fillLognormal(lives, mu, cfg.Sigma, rng)
+		l.Fill(lives, rng)
 		sort.Float64s(lives)
 		samples[t] = lives[kth] / cfg.DutyCycle
 	}
@@ -112,17 +113,6 @@ func ChipLifetime(arrayMedianSeconds float64, cfg Config, trials int, seed int64
 		P95:             q(0.95),
 		ArraysTolerated: tolerated,
 	}, nil
-}
-
-// fillLognormal fills dst with lognormal draws exp(mu + sigma·N(0,1))
-// from the given source — the one variation model shared by the
-// chip-level Monte Carlo (ChipLifetime) and the per-bank endurance draw
-// (BankEndurances). Every caller threads an explicit seed so the draws
-// are reproducible and land in run manifests.
-func fillLognormal(dst []float64, mu, sigma float64, rng *rand.Rand) {
-	for i := range dst {
-		dst[i] = math.Exp(mu + sigma*rng.NormFloat64())
-	}
 }
 
 // Throughput models aggregate kernel throughput: arrays × lanes-parallel

@@ -1,0 +1,203 @@
+package pim_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pimendure/internal/obs"
+	"pimendure/pim"
+)
+
+func fleetOptions() pim.Options {
+	return pim.Options{Lanes: 16, Rows: 512, PresetOutputs: true, NANDBasis: true}
+}
+
+func fleetBench(t *testing.T) *pim.Benchmark {
+	t.Helper()
+	b, err := pim.NewParallelMult(fleetOptions(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// A small but non-trivial study: point ordering, quantile ordering,
+// Eq. 4 agreement, and the common-random-numbers property that a
+// technology change only rescales every sample by its median ratio.
+func TestFleetStudy(t *testing.T) {
+	opt := fleetOptions()
+	bench := fleetBench(t)
+	rc := pim.RunConfig{Iterations: 300, RecompileEvery: 50, Seed: 7, Workers: 1}
+	strategies := []pim.Strategy{
+		pim.StaticStrategy,
+		{Within: pim.Random, Between: pim.Random, Hw: true},
+	}
+	techs := []pim.Technology{pim.MRAM(), pim.RRAM()}
+	fc := pim.FleetConfig{Devices: 20000, Sigmas: []float64{0.3, 0.6}, Seed: 11}
+	points, err := pim.Fleet(bench, opt, rc, strategies, techs, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(strategies)*len(techs)*len(fc.Sigmas) {
+		t.Fatalf("got %d points, want %d", len(points), len(strategies)*len(techs)*len(fc.Sigmas))
+	}
+	i := 0
+	for _, s := range strategies {
+		for _, tech := range techs {
+			for _, sigma := range fc.Sigmas {
+				p := points[i]
+				i++
+				if p.Strategy != s || p.Technology.Name != tech.Name || p.Sigma != sigma {
+					t.Fatalf("point %d out of order: %s/%s/σ=%v", i-1, p.Strategy.Name(), p.Technology.Name, p.Sigma)
+				}
+				if p.Devices != fc.Devices || p.Benchmark != bench.Name {
+					t.Errorf("point %d population/benchmark mismatch", i-1)
+				}
+				if p.Groups <= 0 || p.Cells < p.Groups {
+					t.Errorf("point %d implausible collapse: %d groups, %d cells", i-1, p.Groups, p.Cells)
+				}
+				// Default quantiles are B1 < B10 < B50, all positive.
+				if len(p.Quantiles) != 3 {
+					t.Fatalf("point %d: %d quantiles", i-1, len(p.Quantiles))
+				}
+				if !(p.Quantiles[0] > 0 && p.Quantiles[0] < p.Quantiles[1] && p.Quantiles[1] < p.Quantiles[2]) {
+					t.Errorf("point %d B-lives disordered: %v", i-1, p.Quantiles)
+				}
+				if p.Seconds(1) != float64(p.StepsPerIteration)*tech.SwitchSeconds {
+					t.Errorf("point %d Seconds conversion wrong", i-1)
+				}
+			}
+		}
+	}
+
+	// Eq. 4 agreement: DeterministicIterations must equal the Run path's
+	// Endurance / MaxWritesPerIteration for the same strategy.
+	for si, s := range strategies {
+		res, err := pim.Run(bench, opt, rc, s, techs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := techs[0].Endurance / res.MaxWritesPerIteration
+		got := points[si*len(techs)*len(fc.Sigmas)].DeterministicIterations
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("%s: deterministic %g, Eq.4 %g", s.Name(), got, want)
+		}
+	}
+
+	// Common random numbers: with one seed per study, switching MRAM to
+	// RRAM at fixed strategy × σ rescales every sample by the endurance
+	// ratio, so the B-lives and mean scale exactly (to rounding).
+	ratio := techs[0].Endurance / techs[1].Endurance
+	perTech := len(fc.Sigmas)
+	for si := range strategies {
+		base := si * len(techs) * perTech
+		for k := 0; k < perTech; k++ {
+			a, b := points[base+k], points[base+perTech+k]
+			if rel := math.Abs(a.MeanIterations/b.MeanIterations - ratio); rel > 1e-9*ratio {
+				t.Errorf("mean did not rescale: %g vs %g", a.MeanIterations, b.MeanIterations)
+			}
+			for q := range a.Quantiles {
+				if rel := math.Abs(a.Quantiles[q]/b.Quantiles[q] - ratio); rel > 1e-9*ratio {
+					t.Errorf("B-life %d did not rescale: %g vs %g", q, a.Quantiles[q], b.Quantiles[q])
+				}
+			}
+		}
+	}
+}
+
+// The cache-aware entry point must be bit-identical to the cold path and
+// report hits from the second call on.
+func TestPlanCacheFleetBitIdentical(t *testing.T) {
+	opt := fleetOptions()
+	bench := fleetBench(t)
+	rc := pim.RunConfig{Iterations: 200, RecompileEvery: 50, Seed: 3, Workers: 1}
+	strategies := []pim.Strategy{pim.StaticStrategy}
+	techs := []pim.Technology{pim.PCM()}
+	fc := pim.FleetConfig{Devices: 10000, Seed: 5}
+
+	cold, err := pim.Fleet(bench, opt, rc, strategies, techs, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := pim.NewPlanCache(4)
+	first, hit, err := cache.Fleet(bench, opt, rc, strategies, techs, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first call reported a cache hit")
+	}
+	second, hit, err := cache.Fleet(bench, opt, rc, strategies, techs, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second call missed the cache")
+	}
+	if !reflect.DeepEqual(cold, first) || !reflect.DeepEqual(first, second) {
+		t.Error("cached fleet points differ from cold run")
+	}
+}
+
+// Defaults: nil strategies → all 18, nil technologies → the paper's
+// four, empty sigmas → {DefaultFleetSigma}.
+func TestFleetDefaults(t *testing.T) {
+	opt := fleetOptions()
+	bench := fleetBench(t)
+	rc := pim.RunConfig{Iterations: 60, RecompileEvery: 30, Seed: 1}
+	points, err := pim.Fleet(bench, opt, rc, nil, nil, pim.FleetConfig{Devices: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 18 * 4; len(points) != want {
+		t.Fatalf("got %d points, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Sigma != pim.DefaultFleetSigma {
+			t.Fatalf("default sigma %v, want %v", p.Sigma, pim.DefaultFleetSigma)
+		}
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	opt := fleetOptions()
+	bench := fleetBench(t)
+	rc := pim.RunConfig{Iterations: 10, Seed: 1}
+	if _, err := pim.Fleet(bench, opt, rc, nil, nil, pim.FleetConfig{}); err == nil {
+		t.Error("zero devices accepted")
+	}
+	bad := pim.FleetConfig{Devices: 10, Sigmas: []float64{-0.1}}
+	if _, err := pim.Fleet(bench, opt, rc, nil, nil, bad); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	deadTech := []pim.Technology{{Name: "broken"}}
+	if _, err := pim.Fleet(bench, opt, rc, nil, deadTech, pim.FleetConfig{Devices: 10}); err == nil {
+		t.Error("invalid technology accepted")
+	}
+}
+
+// The progress series counts devices cumulatively across the whole
+// study, ending at points × devices.
+func TestFleetProgressSeries(t *testing.T) {
+	opt := fleetOptions()
+	bench := fleetBench(t)
+	rc := pim.RunConfig{Iterations: 60, RecompileEvery: 30, Seed: 1, Workers: 1}
+	series := obs.NewSeries("test.fleet.progress", "devices")
+	defer obs.RemoveSeries(series.Name())
+	fc := pim.FleetConfig{Devices: 20000, Sigmas: []float64{0, 0.3}, Seed: 2, Series: series}
+	strategies := []pim.Strategy{pim.StaticStrategy}
+	points, err := pim.Fleet(bench, opt, rc, strategies, []pim.Technology{pim.MRAM()}, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(len(points) * fc.Devices)
+	last := series.Last()
+	if last == nil || last[0] != total {
+		t.Fatalf("final progress row %v, want %v", last, total)
+	}
+	// σ=0 reports one row; σ=0.3 one per 8192-device batch.
+	if series.Len() < 4 {
+		t.Errorf("only %d progress rows", series.Len())
+	}
+}
